@@ -1,0 +1,91 @@
+"""Ablation — effect of the Section-4.3 optimizations on reformulation.
+
+The paper describes its optimizations qualitatively (memoization, dead-end
+detection, unsatisfiable-label pruning, priority-ordered expansion) without
+reporting separate numbers for them.  DESIGN.md therefore schedules this
+ablation: each optimization is switched off individually and the tree size
+and construction time are compared against the fully optimized
+configuration on the same generated workloads.
+
+Correctness is asserted alongside (every configuration must produce the
+same answers), so the ablation doubles as a regression test for the
+optimization code paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.pdms import ReformulationConfig, evaluate_reformulation, reformulate
+from repro.workload import GeneratorParameters, generate_workload, populate_workload
+
+from bench_common import PAPER_NUM_PEERS
+
+DIAMETER = 5
+DEFINITIONAL_RATIO = 0.25
+SEED = 31
+
+
+def _workload():
+    return generate_workload(GeneratorParameters(
+        num_peers=PAPER_NUM_PEERS,
+        diameter=DIAMETER,
+        definitional_ratio=DEFINITIONAL_RATIO,
+        seed=SEED,
+    ))
+
+
+CONFIGURATIONS = {
+    "all-optimizations": ReformulationConfig(),
+    "no-memoization": ReformulationConfig(memoize_mcds=False),
+    "no-dead-end-pruning": ReformulationConfig(prune_dead_ends=False),
+    "no-unsat-pruning": ReformulationConfig(prune_unsatisfiable=False),
+    "none": ReformulationConfig().without_optimizations(),
+}
+
+
+@pytest.mark.parametrize("name", list(CONFIGURATIONS))
+def test_ablation_tree_construction(benchmark, name):
+    """Time tree construction under one optimization configuration."""
+    config = CONFIGURATIONS[name]
+    workload = _workload()
+
+    def build():
+        return reformulate(workload.pdms, workload.query, config=config)
+
+    result = benchmark(build)
+    benchmark.extra_info["configuration"] = name
+    benchmark.extra_info["tree_nodes"] = result.statistics.total_nodes
+    benchmark.extra_info["memoization_hits"] = result.statistics.memoization_hits
+    benchmark.extra_info["pruned_dead_end"] = result.statistics.pruned_dead_end
+
+
+def test_ablation_configurations_agree_on_answers(benchmark):
+    """All configurations must yield identical answers over the same data."""
+    workload = _workload()
+    data = populate_workload(workload, rows_per_relation=4, domain_size=3)
+
+    def answers_per_configuration():
+        answers = {}
+        for name, config in CONFIGURATIONS.items():
+            result = reformulate(workload.pdms, workload.query, config=config)
+            answers[name] = frozenset(evaluate_reformulation(result, data))
+        return answers
+
+    answers = benchmark.pedantic(answers_per_configuration, rounds=1, iterations=1)
+    assert len(set(answers.values())) == 1
+
+
+def test_ablation_memoization_reduces_work(benchmark):
+    """MCD memoization must register hits on the generated workloads (many
+    peers share mapping shapes, which is exactly what the cache exploits)."""
+    workload = _workload()
+
+    def build():
+        return reformulate(workload.pdms, workload.query, config=ReformulationConfig())
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert result.statistics.memoization_hits > 0

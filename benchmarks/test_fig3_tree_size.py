@@ -1,0 +1,88 @@
+"""Figure 3 — size of the rule-goal tree vs. PDMS diameter, by %definitional mappings.
+
+The paper plots the number of nodes in the rule-goal tree for a 96-peer
+PDMS as the diameter grows from 1 to 10, with one curve per definitional-
+mapping percentage (0%, 10%, 25%, 50%).  Its two findings are
+
+* the tree grows (roughly exponentially) with the diameter, reaching tens
+  of thousands of nodes by diameter 8, and
+* a higher share of definitional mappings yields a larger tree, because
+  relations defined by several rules act as unions and raise the
+  branching factor.
+
+The pytest-benchmark tests below reproduce the same series on a reduced
+diameter range so the suite stays fast; run ``python benchmarks/harness.py
+--figure 3`` for the full sweep recorded in EXPERIMENTS.md.  Each test also
+asserts the *shape* facts above, so a regression in the generator or the
+reformulation algorithm fails loudly rather than silently changing curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import PAPER_NUM_PEERS, average_samples, run_reformulation
+
+#: Reduced sweep used by pytest-benchmark (full range handled by harness.py).
+DIAMETERS = (2, 4, 6)
+DEFINITIONAL_RATIOS = (0.0, 0.10, 0.25, 0.50)
+RUNS_PER_POINT = 3
+
+
+@pytest.mark.parametrize("definitional_ratio", DEFINITIONAL_RATIOS)
+@pytest.mark.parametrize("diameter", DIAMETERS)
+def test_fig3_tree_size(benchmark, diameter, definitional_ratio):
+    """Benchmark tree construction for one (diameter, %dd) data point."""
+
+    def build_tree():
+        return run_reformulation(
+            diameter=diameter,
+            definitional_ratio=definitional_ratio,
+            seed=17,
+            num_peers=PAPER_NUM_PEERS,
+        )
+
+    sample = benchmark(build_tree)
+    benchmark.extra_info["tree_nodes"] = sample.tree_nodes
+    benchmark.extra_info["diameter"] = diameter
+    benchmark.extra_info["definitional_ratio"] = definitional_ratio
+    assert sample.tree_nodes > 0
+
+
+@pytest.mark.parametrize("definitional_ratio", DEFINITIONAL_RATIOS)
+def test_fig3_tree_grows_with_diameter(benchmark, definitional_ratio):
+    """Shape check: node count increases (strongly) with the diameter."""
+
+    def sweep():
+        sizes = []
+        for diameter in DIAMETERS:
+            samples = [
+                run_reformulation(diameter, definitional_ratio, seed)
+                for seed in range(RUNS_PER_POINT)
+            ]
+            sizes.append(average_samples(samples)["tree_nodes"])
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sizes_by_diameter"] = dict(zip(DIAMETERS, sizes))
+    assert sizes[0] < sizes[1] < sizes[2]
+    # Exponential-ish growth: the last step grows by more than the first.
+    assert sizes[2] - sizes[1] > sizes[1] - sizes[0]
+
+
+def test_fig3_tree_grows_with_definitional_ratio(benchmark):
+    """Shape check: more definitional mappings means a larger tree (paper's
+    explanation: unions of conjunctive queries raise the branching factor)."""
+
+    def sweep():
+        sizes = {}
+        for ratio in DEFINITIONAL_RATIOS:
+            samples = [
+                run_reformulation(5, ratio, seed) for seed in range(RUNS_PER_POINT)
+            ]
+            sizes[ratio] = average_samples(samples)["tree_nodes"]
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sizes_by_ratio"] = {str(k): v for k, v in sizes.items()}
+    assert sizes[0.0] < sizes[0.25] < sizes[0.50]

@@ -1,0 +1,94 @@
+"""Figure 4 — time to the first / tenth / all rewritings vs. PDMS diameter.
+
+The paper measures, for a 96-peer PDMS with 10% definitional mappings, how
+long it takes to obtain the first rewriting, the tenth rewriting, and all
+rewritings as the diameter grows.  Its findings:
+
+* the first rewritings arrive quickly even when the tree is large (a few
+  seconds at diameter 8 on 2003 hardware), and
+* producing *all* rewritings (Step 3) is the bottleneck, growing much
+  faster than tree construction (Step 2).
+
+The benchmarks below reproduce the three series on a reduced diameter
+range; the full sweep lives in ``harness.py --figure 4``.  Shape
+assertions encode the two findings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import average_samples, run_reformulation
+
+DIAMETERS = (2, 4, 6)
+DEFINITIONAL_RATIO = 0.10
+RUNS_PER_POINT = 3
+
+
+@pytest.mark.parametrize("diameter", DIAMETERS)
+def test_fig4_first_rewriting(benchmark, diameter):
+    """Time to the first rewriting (tree construction included)."""
+
+    def first():
+        sample = run_reformulation(
+            diameter, DEFINITIONAL_RATIO, seed=23, measure_rewritings=False)
+        return sample
+
+    sample = benchmark(first)
+    benchmark.extra_info["diameter"] = diameter
+    benchmark.extra_info["tree_nodes"] = sample.tree_nodes
+
+
+@pytest.mark.parametrize("diameter", DIAMETERS)
+def test_fig4_all_rewritings(benchmark, diameter):
+    """Time to enumerate every rewriting (the paper's bottleneck, Step 3)."""
+
+    def everything():
+        return run_reformulation(
+            diameter, DEFINITIONAL_RATIO, seed=23, measure_rewritings=True)
+
+    sample = benchmark.pedantic(everything, rounds=1, iterations=1)
+    benchmark.extra_info["diameter"] = diameter
+    benchmark.extra_info["rewriting_count"] = sample.rewriting_count
+
+
+def test_fig4_first_rewritings_are_fast(benchmark):
+    """Shape check: time-to-first stays far below time-to-all at the largest
+    diameter measured (the paper's headline observation)."""
+
+    def sweep():
+        samples = [
+            run_reformulation(max(DIAMETERS), DEFINITIONAL_RATIO, seed,
+                              measure_rewritings=True)
+            for seed in range(RUNS_PER_POINT)
+        ]
+        return average_samples(samples)
+
+    averages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {key: value for key, value in averages.items() if value is not None})
+    assert averages["first_rewriting_seconds"] is not None
+    assert averages["all_rewritings_seconds"] is not None
+    # First rewriting must be at least 5x cheaper than the full enumeration.
+    assert averages["first_rewriting_seconds"] * 5 < averages["all_rewritings_seconds"]
+
+
+def test_fig4_step3_dominates_step2(benchmark):
+    """Shape check: at the largest diameter, enumerating all rewritings costs
+    more than building the tree (the paper: "the key bottleneck of the
+    algorithm is the time to find the rewritings from the rule-goal tree")."""
+
+    def sweep():
+        samples = [
+            run_reformulation(max(DIAMETERS), DEFINITIONAL_RATIO, seed,
+                              measure_rewritings=True)
+            for seed in range(RUNS_PER_POINT)
+        ]
+        return average_samples(samples)
+
+    averages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    step2 = averages["build_seconds"]
+    step3 = averages["all_rewritings_seconds"] - averages["build_seconds"]
+    benchmark.extra_info["step2_seconds"] = step2
+    benchmark.extra_info["step3_seconds"] = step3
+    assert step3 > step2

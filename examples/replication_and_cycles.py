@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Replication, cycles, and the tractability boundary (Section 3).
+
+The paper's Section 3 shows that cycles are the reason query answering can
+become intractable, and singles out one benign form of cycle that practice
+needs anyway: *data replication*, expressed as a projection-free equality
+such as ``ECC:vehicle(...) = 9DC:vehicle(...)``.  This example
+
+1. builds a small PDMS with a replication equality and shows that
+   reformulation terminates and finds the answers through the cycle,
+2. asks the complexity analyzer to classify several variants — acyclic
+   inclusions, projection-free equalities, projecting equalities,
+   comparison predicates in different positions — against Theorems
+   3.1–3.3, and
+3. shows the termination rule at work on a deliberately cyclic pair of
+   inclusion mappings.
+
+Run it with::
+
+    python examples/replication_and_cycles.py
+"""
+
+from repro.datalog import parse_atom, parse_query
+from repro.pdms import (
+    PDMS,
+    EqualityMapping,
+    InclusionMapping,
+    StorageDescription,
+    analyze_pdms,
+    answer_query,
+    lav_style,
+    reformulate,
+    replication,
+)
+
+
+def replication_example() -> None:
+    print("=== data replication through a projection-free equality")
+    pdms = PDMS("replication")
+    ecc = pdms.add_peer("ECC")
+    ecc.add_relation("Vehicle", ["vid", "type", "gps"])
+    ninedc = pdms.add_peer("9DC")
+    ninedc.add_relation("Vehicle", ["vid", "type", "gps"])
+    # The Section-3 example: the ECC replicates the dispatch center's table.
+    pdms.add_peer_mapping(replication(
+        parse_atom("ECC:Vehicle(v, t, g)"), parse_atom("9DC:Vehicle(v, t, g)"),
+        name="vehicle_replication"))
+    pdms.add_storage_description(StorageDescription(
+        "9DC", "vehicles", parse_query("V(v, t, g) :- 9DC:Vehicle(v, t, g)")))
+
+    report = analyze_pdms(pdms)
+    print("  analysis:", report)
+
+    query = parse_query("Q(v, g) :- ECC:Vehicle(v, t, g)")
+    result = reformulate(pdms, query)
+    print("  rule-goal tree:")
+    print("   ", result.tree.pretty().replace("\n", "\n    "))
+    data = {"vehicles": [("amb1", "ambulance", "45.52,-122.68"),
+                         ("eng12", "engine", "45.51,-122.66")]}
+    print("  answers over the replicated table:", sorted(answer_query(pdms, query, data)))
+
+
+def classification_tour() -> None:
+    print("\n=== where the tractability boundary falls (Theorems 3.1-3.3)")
+
+    def fresh_pdms():
+        pdms = PDMS()
+        for name in ("A", "B"):
+            peer = pdms.add_peer(name)
+            peer.add_relation("R", ["x", "y"])
+        return pdms
+
+    cases = {}
+
+    pdms = fresh_pdms()
+    pdms.add_peer_mapping(lav_style(
+        parse_atom("B:R(x, y)"), parse_query("V(x, y) :- A:R(x, y)")))
+    cases["acyclic inclusions only"] = pdms
+
+    pdms = fresh_pdms()
+    pdms.add_peer_mapping(replication(parse_atom("A:R(x, y)"), parse_atom("B:R(x, y)")))
+    cases["projection-free equality (replication)"] = pdms
+
+    pdms = fresh_pdms()
+    pdms.add_peer_mapping(EqualityMapping(
+        parse_query("L(x) :- A:R(x, y)"), parse_query("R(x) :- B:R(x, x)")))
+    cases["equality with projection"] = pdms
+
+    pdms = fresh_pdms()
+    pdms.add_storage_description(StorageDescription(
+        "A", "cheap", parse_query("V(x, y) :- A:R(x, y), y < 100")))
+    cases["comparisons only in storage descriptions"] = pdms
+
+    pdms = fresh_pdms()
+    pdms.add_peer_mapping(InclusionMapping(
+        parse_query("L(x, y) :- B:R(x, y), y < 5"),
+        parse_query("R(x, y) :- A:R(x, y)")))
+    cases["comparisons in a peer mapping"] = pdms
+
+    pdms = fresh_pdms()
+    pdms.add_peer_mapping(lav_style(
+        parse_atom("A:R(x, y)"), parse_query("V(x, y) :- B:R(x, y)")))
+    pdms.add_peer_mapping(lav_style(
+        parse_atom("B:R(x, y)"), parse_query("V(x, y) :- A:R(x, y)")))
+    cases["cyclic inclusion mappings"] = pdms
+
+    for label, pdms in cases.items():
+        print(f"  {label:44s} -> {analyze_pdms(pdms)}")
+
+
+def cyclic_termination() -> None:
+    print("\n=== the 'never reuse a description on a path' rule on a cycle")
+    pdms = PDMS("cycle")
+    pdms.add_peer("A").add_relation("R", ["x"])
+    pdms.add_peer("B").add_relation("R", ["x"])
+    pdms.add_peer_mapping(lav_style(
+        parse_atom("A:R(x)"), parse_query("V(x) :- B:R(x)"), name="a_in_b"))
+    pdms.add_peer_mapping(lav_style(
+        parse_atom("B:R(x)"), parse_query("V(x) :- A:R(x)"), name="b_in_a"))
+    pdms.add_storage_description(StorageDescription(
+        "A", "stored_a", parse_query("V(x) :- A:R(x)")))
+    pdms.add_storage_description(StorageDescription(
+        "B", "stored_b", parse_query("V(x) :- B:R(x)")))
+
+    query = parse_query("Q(x) :- A:R(x)")
+    result = reformulate(pdms, query)
+    print("  tree (finite despite the cycle):")
+    print("   ", result.tree.pretty().replace("\n", "\n    "))
+    data = {"stored_a": [(1,)], "stored_b": [(2,)]}
+    print("  answers drawing from both peers:", sorted(answer_query(pdms, query, data)))
+
+
+def main() -> None:
+    replication_example()
+    classification_tour()
+    cyclic_termination()
+
+
+if __name__ == "__main__":
+    main()

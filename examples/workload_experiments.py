@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Drive the Section-5 workload generator and reproduce the experiment shapes.
+
+This is a miniature version of ``benchmarks/harness.py`` meant to be read:
+it generates synthetic PDMSs with the paper's parameters (96 peers, varying
+diameter, varying share of definitional mappings), reformulates the
+benchmark query, and prints the rule-goal-tree sizes and rewriting times —
+the quantities behind Figures 3 and 4 — for a small sweep.
+
+Run it with::
+
+    python examples/workload_experiments.py
+"""
+
+import time
+
+from repro.pdms import answer_query, certain_answers, reformulate
+from repro.workload import GeneratorParameters, generate_workload, populate_workload
+
+
+def sweep_tree_sizes() -> None:
+    print("=== Figure-3 shape: tree size vs diameter and %definitional mappings")
+    print(f"  {'diameter':>9s} | " + " | ".join(f"dd={p:>3.0%}" for p in (0.0, 0.1, 0.25, 0.5)))
+    for diameter in (2, 3, 4, 5, 6):
+        sizes = []
+        for ratio in (0.0, 0.10, 0.25, 0.50):
+            workload = generate_workload(GeneratorParameters(
+                num_peers=96, diameter=diameter, definitional_ratio=ratio, seed=7))
+            result = reformulate(workload.pdms, workload.query)
+            sizes.append(result.statistics.total_nodes)
+        print(f"  {diameter:>9d} | " + " | ".join(f"{size:>7d}" for size in sizes))
+
+
+def sweep_rewriting_times() -> None:
+    print("\n=== Figure-4 shape: time to first/tenth/all rewritings (dd=10%)")
+    print(f"  {'diameter':>9s} | {'1st (ms)':>9s} | {'10th (ms)':>9s} | {'all (ms)':>9s} | #rewritings")
+    for diameter in (2, 3, 4, 5):
+        workload = generate_workload(GeneratorParameters(
+            num_peers=96, diameter=diameter, definitional_ratio=0.10, seed=7))
+        start = time.perf_counter()
+        result = reformulate(workload.pdms, workload.query)
+        result.first_rewritings(1)
+        first = time.perf_counter() - start
+        result.first_rewritings(10)
+        tenth = time.perf_counter() - start
+        rewritings = result.all_rewritings()
+        everything = time.perf_counter() - start
+        print(f"  {diameter:>9d} | {first * 1000:>9.1f} | {tenth * 1000:>9.1f} | "
+              f"{everything * 1000:>9.1f} | {len(rewritings)}")
+
+
+def end_to_end_check() -> None:
+    print("\n=== end-to-end: generated workload, random data, oracle cross-check")
+    workload = generate_workload(GeneratorParameters(
+        num_peers=24, diameter=3, definitional_ratio=0.25, seed=11))
+    data = populate_workload(workload, rows_per_relation=8, domain_size=5)
+    answers = answer_query(workload.pdms, workload.query, data)
+    oracle = certain_answers(workload.pdms, workload.query, data)
+    print(f"  query: {workload.query}")
+    print(f"  answers = {len(answers)}, certain answers = {len(oracle)}, "
+          f"agree: {answers == oracle}")
+
+
+def main() -> None:
+    sweep_tree_sizes()
+    sweep_rewriting_times()
+    end_to_end_check()
+
+
+if __name__ == "__main__":
+    main()

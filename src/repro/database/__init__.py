@@ -1,0 +1,29 @@
+"""Relational database substrate: schemas, instances, and a relational algebra."""
+
+from .algebra import Table, table_from_instance
+from .csvio import load_instance_directory, load_relation_csv, save_relation_csv
+from .instance import Instance
+from .planner import (
+    compile_query,
+    compile_union,
+    evaluate_query_via_plan,
+    evaluate_union_via_plan,
+    execute_plan,
+)
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "DatabaseSchema",
+    "Instance",
+    "RelationSchema",
+    "Table",
+    "compile_query",
+    "compile_union",
+    "evaluate_query_via_plan",
+    "evaluate_union_via_plan",
+    "execute_plan",
+    "load_instance_directory",
+    "load_relation_csv",
+    "save_relation_csv",
+    "table_from_instance",
+]

@@ -1,0 +1,92 @@
+"""CSV import/export for instances.
+
+Examples ship small datasets as CSV files; these helpers read and write
+them.  Values are round-tripped through a tiny type sniffing step so that
+integers and floats survive the trip (everything else stays a string).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import InstanceError
+from .instance import Instance
+from .schema import DatabaseSchema
+
+
+def _sniff(value: str) -> object:
+    """Convert a CSV string to int or float when it looks like one."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def load_relation_csv(
+    instance: Instance,
+    relation: str,
+    path: Union[str, Path],
+    has_header: bool = True,
+) -> int:
+    """Load rows of one relation from a CSV file into ``instance``.
+
+    Returns the number of rows loaded.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise InstanceError(f"CSV file {path} does not exist")
+    count = 0
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = iter(reader)
+        if has_header:
+            next(rows, None)
+        for row in rows:
+            if not row:
+                continue
+            instance.add(relation, [_sniff(v) for v in row])
+            count += 1
+    return count
+
+
+def save_relation_csv(
+    instance: Instance,
+    relation: str,
+    path: Union[str, Path],
+    header: Optional[Sequence[str]] = None,
+) -> int:
+    """Write one relation of ``instance`` to a CSV file; returns the row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = sorted(instance.get_tuples(relation), key=repr)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header is None:
+            schema = instance.schema
+            if schema is not None and relation in schema:
+                header = schema.relation(relation).attributes
+        if header is not None:
+            writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def load_instance_directory(
+    directory: Union[str, Path],
+    schema: Optional[DatabaseSchema] = None,
+    has_header: bool = True,
+) -> Instance:
+    """Load every ``*.csv`` file in ``directory`` as a relation named after the file."""
+    directory = Path(directory)
+    instance = Instance(schema)
+    for path in sorted(directory.glob("*.csv")):
+        load_relation_csv(instance, path.stem, path, has_header=has_header)
+    return instance

@@ -1,0 +1,176 @@
+"""In-memory database instances.
+
+An :class:`Instance` stores, for each relation name, a set of rows
+(tuples of plain Python values).  It implements the
+:class:`repro.datalog.evaluation.FactSource` protocol so queries and
+datalog programs can be evaluated over it directly, and it is the storage
+substrate behind every peer's stored relations in the PDMS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import InstanceError, SchemaError
+from .schema import DatabaseSchema, RelationSchema
+
+Row = Tuple[object, ...]
+
+
+class Instance:
+    """A mutable set-semantics database instance.
+
+    Parameters
+    ----------
+    schema:
+        Optional :class:`DatabaseSchema`.  When provided, inserts are
+        validated against it and unknown relation names are rejected;
+        without it, relations are created lazily with inferred arity.
+    """
+
+    def __init__(self, schema: Optional[DatabaseSchema] = None):
+        self._schema = schema
+        self._relations: Dict[str, Set[Row]] = {}
+        self._arities: Dict[str, int] = {}
+        if schema is not None:
+            for relation in schema:
+                self._relations[relation.name] = set()
+                self._arities[relation.name] = relation.arity
+
+    # -- FactSource protocol ---------------------------------------------------
+
+    def get_tuples(self, predicate: str) -> Iterable[Row]:
+        """Return the rows stored for ``predicate`` (empty if unknown)."""
+        return self._relations.get(predicate, set())
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, relation: str, row: Sequence[object]) -> None:
+        """Insert one row into ``relation``.
+
+        With a schema, the relation must exist and the row must validate.
+        Without one, the relation is created on first insert and later
+        inserts must match its arity.
+        """
+        values = tuple(row)
+        if self._schema is not None:
+            try:
+                rel_schema = self._schema.relation(relation)
+            except SchemaError as exc:
+                raise InstanceError(str(exc)) from exc
+            values = rel_schema.validate_row(values)
+        else:
+            known_arity = self._arities.get(relation)
+            if known_arity is None:
+                self._arities[relation] = len(values)
+            elif known_arity != len(values):
+                raise InstanceError(
+                    f"relation {relation} has arity {known_arity} but got a row "
+                    f"of width {len(values)}"
+                )
+        self._relations.setdefault(relation, set()).add(values)
+
+    def add_all(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
+        """Insert many rows into ``relation``."""
+        for row in rows:
+            self.add(relation, row)
+
+    def remove(self, relation: str, row: Sequence[object]) -> None:
+        """Remove a row; raises :class:`InstanceError` if it is not present."""
+        values = tuple(row)
+        stored = self._relations.get(relation)
+        if stored is None or values not in stored:
+            raise InstanceError(f"row {values} is not in relation {relation}")
+        stored.remove(values)
+
+    def clear(self, relation: Optional[str] = None) -> None:
+        """Remove all rows of ``relation``, or of every relation if ``None``."""
+        if relation is None:
+            for rows in self._relations.values():
+                rows.clear()
+        elif relation in self._relations:
+            self._relations[relation].clear()
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def schema(self) -> Optional[DatabaseSchema]:
+        """The schema this instance validates against, if any."""
+        return self._schema
+
+    def relations(self) -> Tuple[str, ...]:
+        """Names of relations that currently hold at least one row or are declared."""
+        return tuple(self._relations)
+
+    def cardinality(self, relation: str) -> int:
+        """Number of rows in ``relation``."""
+        return len(self._relations.get(relation, ()))
+
+    def total_rows(self) -> int:
+        """Total number of rows across all relations."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def active_domain(self) -> Set[object]:
+        """All values occurring anywhere in the instance."""
+        domain: Set[object] = set()
+        for rows in self._relations.values():
+            for row in rows:
+                domain.update(row)
+        return domain
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._relations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        mine = {name: rows for name, rows in self._relations.items() if rows}
+        theirs = {name: rows for name, rows in other._relations.items() if rows}
+        return mine == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - instances are mutable
+        raise TypeError("Instance objects are mutable and unhashable")
+
+    # -- conversion ---------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Set[Row]]:
+        """Return a copy of the underlying relation->rows mapping."""
+        return {name: set(rows) for name, rows in self._relations.items()}
+
+    def copy(self) -> "Instance":
+        """Return a deep copy of the instance (schema object is shared)."""
+        clone = Instance(self._schema)
+        for name, rows in self._relations.items():
+            clone._relations[name] = set(rows)
+            clone._arities[name] = self._arities.get(name, 0)
+        return clone
+
+    def merge(self, other: "Instance") -> "Instance":
+        """Return a new instance holding the union of both instances' rows."""
+        merged = self.copy()
+        for name, rows in other._relations.items():
+            for row in rows:
+                merged.add(name, row)
+        return merged
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Iterable[Sequence[object]]],
+        schema: Optional[DatabaseSchema] = None,
+    ) -> "Instance":
+        """Build an instance from a mapping of relation name to rows."""
+        instance = cls(schema)
+        for name, rows in data.items():
+            instance.add_all(name, rows)
+        return instance
+
+    def __str__(self) -> str:
+        lines = []
+        for name in sorted(self._relations):
+            rows = self._relations[name]
+            lines.append(f"{name}: {len(rows)} rows")
+        return "\n".join(lines) if lines else "(empty instance)"
+
+    def __repr__(self) -> str:
+        return f"Instance({self.total_rows()} rows in {len(self._relations)} relations)"

@@ -1,0 +1,387 @@
+"""Logical query plans: compile conjunctive queries to relational algebra.
+
+The paper stops at reformulation ("The precise method of evaluating Q'
+is beyond the scope of this paper"), but a usable library needs to run the
+reformulated union of conjunctive queries.  Besides the backtracking
+evaluator in :mod:`repro.datalog.evaluation`, this module provides the
+path a database system would take:
+
+1. compile each conjunctive query into a *logical plan* over the
+   relational-algebra operators of :mod:`repro.database.algebra`
+   (scan → select → join → project), with
+
+   * selections pushed onto scans (constants and repeated variables in an
+     atom become per-scan filters),
+   * a greedy join order chosen by estimated cardinality (smallest input
+     first, preferring joins that share variables), and
+   * comparison predicates applied as soon as their variables are bound;
+
+2. execute the plan bottom-up over an :class:`~repro.database.instance.Instance`
+   (or any fact source), producing a :class:`~repro.database.algebra.Table`.
+
+The two evaluation paths are cross-checked against each other in the test
+suite, which is the point of having both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..datalog.atoms import Atom, ComparisonAtom, compare_values
+from ..datalog.evaluation import FactsLike, as_fact_source
+from ..datalog.queries import ConjunctiveQuery, UnionQuery
+from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..errors import EvaluationError
+from .algebra import Table
+
+Row = Tuple[object, ...]
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class of logical plan operators."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Child operators (empty for leaves)."""
+        return ()
+
+    def output_columns(self) -> Tuple[str, ...]:
+        """Column names produced by this operator."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """An indented, human-readable rendering of the plan."""
+        line = "  " * indent + self.describe()
+        return "\n".join([line] + [child.explain(indent + 1) for child in self.children()])
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """Scan one stored relation, binding its columns to variable names.
+
+    ``columns`` holds one name per relation position: variable names where
+    the atom had variables, synthetic ``_pos<i>`` names elsewhere.
+    ``filters`` are (position, constant) equality filters from constants in
+    the atom; ``equal_positions`` are pairs of positions that must be equal
+    (repeated variables in the atom).
+    """
+
+    relation: str
+    columns: Tuple[str, ...]
+    filters: Tuple[Tuple[int, object], ...] = ()
+    equal_positions: Tuple[Tuple[int, int], ...] = ()
+
+    def output_columns(self) -> Tuple[str, ...]:
+        # Positions carrying constants or duplicate variables are projected
+        # away right after the scan; only the first occurrence of each
+        # variable column survives.
+        seen: List[str] = []
+        for name in self.columns:
+            if not name.startswith("_pos") and name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        parts = [f"Scan({self.relation})"]
+        if self.filters:
+            rendered = ", ".join(f"#{i}={value!r}" for i, value in self.filters)
+            parts.append(f"filter[{rendered}]")
+        if self.equal_positions:
+            rendered = ", ".join(f"#{i}=#{j}" for i, j in self.equal_positions)
+            parts.append(f"equal[{rendered}]")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SelectNode(PlanNode):
+    """Apply comparison predicates to the child's rows."""
+
+    child: PlanNode
+    comparisons: Tuple[ComparisonAtom, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.child.output_columns()
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(c) for c in self.comparisons)
+        return f"Select({rendered})"
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """Natural join of two subplans on their shared variable columns."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def output_columns(self) -> Tuple[str, ...]:
+        left_columns = self.left.output_columns()
+        right_columns = self.right.output_columns()
+        return left_columns + tuple(c for c in right_columns if c not in left_columns)
+
+    def describe(self) -> str:
+        shared = set(self.left.output_columns()) & set(self.right.output_columns())
+        rendered = ", ".join(sorted(shared)) if shared else "×"
+        return f"Join({rendered})"
+
+
+@dataclass(frozen=True)
+class ProjectNode(PlanNode):
+    """Project the child onto the query's head, in head order.
+
+    ``head`` may contain constants (e.g. a reformulation head
+    ``Q(pid, "Doctor")``); those positions are emitted as constant columns.
+    """
+
+    child: PlanNode
+    head: Tuple[Term, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        seen: Dict[str, int] = {}
+        for index, term in enumerate(self.head):
+            base = term.name if is_variable(term) else f"_const{index}"
+            count = seen.get(base, 0)
+            names.append(base if count == 0 else f"{base}#{count}")
+            seen[base] = count + 1
+        return tuple(names)
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(t) for t in self.head)
+        return f"Project({rendered})"
+
+
+@dataclass(frozen=True)
+class UnionNode(PlanNode):
+    """Set union of the sub-plans of a union of conjunctive queries."""
+
+    branches: Tuple[PlanNode, ...]
+    arity: int
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return self.branches
+
+    def output_columns(self) -> Tuple[str, ...]:
+        if self.branches:
+            return self.branches[0].output_columns()
+        return tuple(f"c{i}" for i in range(self.arity))
+
+    def describe(self) -> str:
+        return f"Union({len(self.branches)} branches)"
+
+
+@dataclass(frozen=True)
+class EmptyNode(PlanNode):
+    """A plan producing no rows (e.g. an empty union)."""
+
+    arity: int
+
+    def output_columns(self) -> Tuple[str, ...]:
+        return tuple(f"c{i}" for i in range(self.arity))
+
+    def describe(self) -> str:
+        return "Empty()"
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def _scan_for_atom(atom: Atom) -> ScanNode:
+    """Build the scan (plus pushed-down filters) for one relational atom."""
+    columns: List[str] = []
+    filters: List[Tuple[int, object]] = []
+    equal_positions: List[Tuple[int, int]] = []
+    first_position: Dict[Variable, int] = {}
+    for position, arg in enumerate(atom.args):
+        if is_variable(arg):
+            if arg in first_position:
+                equal_positions.append((first_position[arg], position))
+                columns.append(f"_pos{position}")
+            else:
+                first_position[arg] = position
+                columns.append(arg.name)
+        else:
+            assert isinstance(arg, Constant)
+            filters.append((position, arg.value))
+            columns.append(f"_pos{position}")
+    return ScanNode(
+        relation=atom.predicate,
+        columns=tuple(columns),
+        filters=tuple(filters),
+        equal_positions=tuple(equal_positions),
+    )
+
+
+def _estimate(node: PlanNode, facts) -> int:
+    """A crude cardinality estimate used only to pick a greedy join order."""
+    if isinstance(node, ScanNode):
+        base = len(list(facts.get_tuples(node.relation)))
+        shrink = 1 + len(node.filters) + len(node.equal_positions)
+        return max(base // shrink, 0)
+    if isinstance(node, JoinNode):  # pragma: no cover - not used during ordering
+        return _estimate(node.left, facts) * max(_estimate(node.right, facts), 1)
+    return 1
+
+
+def compile_query(
+    query: ConjunctiveQuery, facts: Optional[FactsLike] = None
+) -> PlanNode:
+    """Compile one conjunctive query into a logical plan.
+
+    ``facts`` is optional and only used for join-order estimates; without
+    it the body order of the query is kept (still correct, possibly
+    slower).
+    """
+    relational = query.relational_body()
+    if not relational:
+        raise EvaluationError("cannot compile a query with no relational atoms")
+    source = as_fact_source(facts) if facts is not None else None
+
+    scans = [_scan_for_atom(atom) for atom in relational]
+
+    # Greedy join ordering: start from the smallest estimated scan, then
+    # repeatedly add the scan that shares variables with the current plan
+    # (preferring the smallest), falling back to a cross product only when
+    # nothing is connected.
+    if source is not None:
+        remaining = sorted(scans, key=lambda scan: _estimate(scan, source))
+    else:
+        remaining = list(scans)
+    plan: PlanNode = remaining.pop(0)
+    bound: Set[str] = set(plan.output_columns())
+    while remaining:
+        connected = [s for s in remaining if set(s.output_columns()) & bound]
+        candidates = connected or remaining
+        if source is not None:
+            nxt = min(candidates, key=lambda scan: _estimate(scan, source))
+        else:
+            nxt = candidates[0]
+        remaining.remove(nxt)
+        plan = JoinNode(plan, nxt)
+        bound |= set(nxt.output_columns())
+
+    comparisons = tuple(query.comparison_body())
+    if comparisons:
+        plan = SelectNode(plan, comparisons)
+    return ProjectNode(plan, tuple(query.head.args))
+
+
+def compile_union(union: UnionQuery, facts: Optional[FactsLike] = None) -> PlanNode:
+    """Compile a union of conjunctive queries into a single plan."""
+    if union.is_empty():
+        return EmptyNode(union.arity)
+    branches = tuple(compile_query(disjunct, facts) for disjunct in union)
+    return UnionNode(branches, union.arity)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def _execute_scan(node: ScanNode, facts) -> Table:
+    rows = []
+    for row in facts.get_tuples(node.relation):
+        if len(row) != len(node.columns):
+            raise EvaluationError(
+                f"arity mismatch scanning {node.relation}: row width {len(row)} "
+                f"vs {len(node.columns)} plan columns"
+            )
+        if any(row[position] != value for position, value in node.filters):
+            continue
+        if any(row[i] != row[j] for i, j in node.equal_positions):
+            continue
+        rows.append(row)
+    table = Table([f"__c{i}" for i in range(len(node.columns))], rows)
+    # Project to the surviving variable columns (first occurrence of each).
+    keep_positions: List[int] = []
+    keep_names: List[str] = []
+    for position, name in enumerate(node.columns):
+        if not name.startswith("_pos") and name not in keep_names:
+            keep_positions.append(position)
+            keep_names.append(name)
+    projected = table.project([f"__c{i}" for i in keep_positions])
+    return projected.rename(dict(zip(projected.columns, keep_names)))
+
+
+def _execute_select(node: SelectNode, facts) -> Table:
+    table = execute_plan(node.child, facts)
+
+    def satisfied(row: Mapping[str, object]) -> bool:
+        for comparison in node.comparisons:
+            def value(term: Term) -> object:
+                if isinstance(term, Constant):
+                    return term.value
+                return row[term.name]  # type: ignore[index]
+
+            if not compare_values(value(comparison.left), comparison.op,
+                                  value(comparison.right)):
+                return False
+        return True
+
+    return table.select(satisfied)
+
+
+def _execute_project(node: ProjectNode, facts) -> Table:
+    table = execute_plan(node.child, facts)
+    out_rows = []
+    for row in table:
+        named = dict(zip(table.columns, row))
+        out_rows.append(tuple(
+            named[term.name] if is_variable(term) else term.value  # type: ignore[union-attr]
+            for term in node.head
+        ))
+    return Table(node.output_columns(), out_rows)
+
+
+def execute_plan(node: PlanNode, facts: FactsLike) -> Table:
+    """Execute a logical plan over ``facts`` and return the result table."""
+    source = as_fact_source(facts)
+    if isinstance(node, ScanNode):
+        return _execute_scan(node, source)
+    if isinstance(node, JoinNode):
+        return execute_plan(node.left, source).natural_join(
+            execute_plan(node.right, source))
+    if isinstance(node, SelectNode):
+        return _execute_select(node, source)
+    if isinstance(node, ProjectNode):
+        return _execute_project(node, source)
+    if isinstance(node, UnionNode):
+        tables = [execute_plan(branch, source) for branch in node.branches]
+        rows: Set[Row] = set()
+        for table in tables:
+            rows |= table.to_set()
+        return Table(node.output_columns(), rows)
+    if isinstance(node, EmptyNode):
+        return Table(node.output_columns(), [])
+    raise EvaluationError(f"unknown plan node {type(node).__name__}")
+
+
+def evaluate_query_via_plan(query: ConjunctiveQuery, facts: FactsLike) -> Set[Row]:
+    """Compile and execute one conjunctive query; returns a set of rows."""
+    plan = compile_query(query, facts)
+    return execute_plan(plan, facts).to_set()
+
+
+def evaluate_union_via_plan(union: UnionQuery, facts: FactsLike) -> Set[Row]:
+    """Compile and execute a union of conjunctive queries."""
+    plan = compile_union(union, facts)
+    return execute_plan(plan, facts).to_set()

@@ -1,0 +1,147 @@
+"""Relation schemas and database schemas.
+
+The paper's peers "define their own relational peer schema"; stored
+relations have schemas too.  A :class:`RelationSchema` records a relation
+name, its attribute names, and optional attribute types; a
+:class:`DatabaseSchema` is a named collection of relation schemas with
+uniqueness checks ("Without loss of generality we assume that relation and
+attribute names are unique to each peer" — Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Type, Union
+
+from ..errors import SchemaError
+
+#: Attribute types supported by the toy type system.
+AttributeType = Union[Type[str], Type[int], Type[float], None]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: a name plus ordered attribute names.
+
+    Parameters
+    ----------
+    name:
+        Relation name; for peer relations this is the fully qualified
+        ``peer:relation`` name.
+    attributes:
+        Ordered attribute names, unique within the relation.
+    types:
+        Optional attribute types (parallel to ``attributes``); ``None``
+        entries mean "untyped".
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    types: Tuple[AttributeType, ...] = field(default=())
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        types: Optional[Sequence[AttributeType]] = None,
+    ):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in relation {name}: {attrs}")
+        if types is None:
+            resolved_types: Tuple[AttributeType, ...] = tuple(None for _ in attrs)
+        else:
+            resolved_types = tuple(types)
+            if len(resolved_types) != len(attrs):
+                raise SchemaError(
+                    f"relation {name}: got {len(resolved_types)} types for "
+                    f"{len(attrs)} attributes"
+                )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "types", resolved_types)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Return the index of ``attribute``; raises :class:`SchemaError` if absent."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}"
+            ) from exc
+
+    def validate_row(self, row: Sequence[object]) -> Tuple[object, ...]:
+        """Check a row against the schema and return it as a tuple.
+
+        Raises :class:`SchemaError` on arity mismatch or a typed attribute
+        receiving a value of the wrong type.
+        """
+        values = tuple(row)
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name} has arity {self.arity} but got a row of "
+                f"width {len(values)}"
+            )
+        for value, expected, attr in zip(values, self.types, self.attributes):
+            if expected is not None and not isinstance(value, expected):
+                raise SchemaError(
+                    f"attribute {self.name}.{attr} expects {expected.__name__} "
+                    f"but got {type(value).__name__} ({value!r})"
+                )
+        return values
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """Return the same schema under a different relation name."""
+        return RelationSchema(new_name, self.attributes, self.types)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class DatabaseSchema:
+    """A named collection of relation schemas with unique relation names."""
+
+    def __init__(self, name: str, relations: Iterable[RelationSchema] = ()):
+        self.name = name
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add a relation schema; raises on duplicate names."""
+        if relation.name in self._relations:
+            raise SchemaError(
+                f"schema {self.name} already defines relation {relation.name}"
+            )
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"schema {self.name} has no relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All relation names, in insertion order."""
+        return tuple(self._relations)
+
+    def __str__(self) -> str:
+        rels = "; ".join(str(r) for r in self)
+        return f"schema {self.name}: {rels}"

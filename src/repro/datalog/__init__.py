@@ -1,0 +1,70 @@
+"""Conjunctive-query / datalog substrate.
+
+This package provides the logical foundation the rest of the library is
+built on: terms, atoms, conjunctive queries, unions of conjunctive
+queries, datalog rules and programs, a textual parser, unification,
+homomorphism search, query containment and minimization, comparison
+constraints, and query/program evaluation over fact sources.
+"""
+
+from .atoms import Atom, BodyAtom, ComparisonAtom
+from .constraints import ConstraintSet
+from .containment import (
+    are_equivalent,
+    containment_mapping,
+    is_contained_in,
+    remove_redundant_disjuncts,
+    ucq_is_contained_in,
+)
+from .evaluation import evaluate_program, evaluate_program_query, evaluate_query, evaluate_union
+from .homomorphism import find_homomorphism, find_homomorphisms, has_homomorphism
+from .minimize import is_minimal, minimize
+from .parser import parse_atom, parse_program, parse_query, parse_rule, parse_union
+from .queries import (
+    ConjunctiveQuery,
+    DatalogProgram,
+    DatalogRule,
+    UnionQuery,
+    make_chain_query,
+)
+from .terms import Constant, FreshVariableFactory, Term, Variable
+from .unify import Substitution, match_atom, unify_atoms, unify_terms
+
+__all__ = [
+    "Atom",
+    "BodyAtom",
+    "ComparisonAtom",
+    "ConjunctiveQuery",
+    "Constant",
+    "ConstraintSet",
+    "DatalogProgram",
+    "DatalogRule",
+    "FreshVariableFactory",
+    "Substitution",
+    "Term",
+    "UnionQuery",
+    "Variable",
+    "are_equivalent",
+    "containment_mapping",
+    "evaluate_program",
+    "evaluate_program_query",
+    "evaluate_query",
+    "evaluate_union",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "has_homomorphism",
+    "is_contained_in",
+    "is_minimal",
+    "make_chain_query",
+    "match_atom",
+    "minimize",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "parse_union",
+    "remove_redundant_disjuncts",
+    "ucq_is_contained_in",
+    "unify_atoms",
+    "unify_terms",
+]

@@ -1,0 +1,150 @@
+"""Conjunctive-query containment, equivalence, and UCQ containment.
+
+Containment is the workhorse of view-based query rewriting: a rewriting is
+*contained* in the query (sound) and, for equivalent rewritings, also
+contains it.  We implement the classical containment-mapping test for CQs
+without comparison predicates, and a sound (complete for the common cases
+exercised here) extension for CQs whose comparisons form a conjunction
+over a dense order:
+
+``Q2 ⊆ Q1`` iff there is a containment mapping ``h`` from ``Q1`` to ``Q2``
+(head to head, body atoms onto body atoms) such that the constraints of
+``Q2`` imply the ``h``-image of the constraints of ``Q1``.
+
+For unions of conjunctive queries, ``U2 ⊆ U1`` iff every disjunct of
+``U2`` is contained in some disjunct of ``U1`` (Sagiv–Yannakakis).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .atoms import Atom, ComparisonAtom
+from .constraints import ConstraintSet
+from .homomorphism import find_homomorphisms, head_seed
+from .queries import ConjunctiveQuery, UnionQuery
+from .terms import Term, Variable, is_variable
+from .unify import Substitution, apply_substitution_term
+
+
+def normalise_equalities(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Apply the query's own equality atoms as a substitution.
+
+    ``Q(x) :- R(x, y), y = 0`` becomes ``Q(x) :- R(x, 0)``: equalities with
+    at least one variable side are folded into the atoms (and the head),
+    which makes the homomorphism-based containment test complete for
+    queries that carry such equalities (rewritings produced by MiniCon/PPL
+    reformulation do).  Ground equalities are evaluated: true ones are
+    dropped, false ones are kept so the caller can detect unsatisfiability.
+    """
+    substitution: dict[Variable, Term] = {}
+    residual: list = []
+    for atom in query.body:
+        if isinstance(atom, ComparisonAtom) and atom.op == "=":
+            left = apply_substitution_term(atom.left, substitution)
+            right = apply_substitution_term(atom.right, substitution)
+            if left == right:
+                continue
+            if is_variable(left):
+                substitution[left] = right  # type: ignore[index]
+                continue
+            if is_variable(right):
+                substitution[right] = left  # type: ignore[index]
+                continue
+            residual.append(atom)  # ground and false (or incomparable): keep
+            continue
+        residual.append(atom)
+    if not substitution:
+        return query
+    flattened = {
+        variable: apply_substitution_term(variable, substitution)
+        for variable in substitution
+    }
+    head = query.head.substitute(flattened)
+    body = [atom.substitute(flattened) for atom in residual]
+    return ConjunctiveQuery(head, body)
+
+
+def containment_mapping(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> Optional[Substitution]:
+    """Find a containment mapping witnessing ``contained ⊆ container``.
+
+    Returns a homomorphism from ``container``'s body onto ``contained``'s
+    body that maps ``container``'s head onto ``contained``'s head, or
+    ``None`` if none exists.  Comparison atoms are checked via constraint
+    implication under the candidate mapping; equality atoms on either side
+    are folded into the atoms first (see :func:`normalise_equalities`).
+    """
+    container = normalise_equalities(container)
+    contained = normalise_equalities(contained)
+    # An unsatisfiable contained query denotes the empty result, which is
+    # contained in everything.
+    if not ConstraintSet(contained.comparison_body()).is_satisfiable():
+        return {}
+    seed = head_seed(container.head, contained.head)
+    if seed is None:
+        return None
+    contained_constraints = ConstraintSet(contained.comparison_body())
+    for hom in find_homomorphisms(
+        container.relational_body(), contained.relational_body(), seed
+    ):
+        mapped = [c.substitute(hom) for c in container.comparison_body()]
+        if all(contained_constraints.implies(c) for c in mapped):
+            return hom
+    return None
+
+
+def is_contained_in(
+    contained: ConjunctiveQuery, container: ConjunctiveQuery
+) -> bool:
+    """Return ``True`` iff ``contained ⊆ container`` (as query results)."""
+    return containment_mapping(container, contained) is not None
+
+
+def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Return ``True`` iff the two CQs are equivalent."""
+    return is_contained_in(first, second) and is_contained_in(second, first)
+
+
+def ucq_is_contained_in(
+    contained: UnionQuery | Iterable[ConjunctiveQuery],
+    container: UnionQuery | Iterable[ConjunctiveQuery],
+) -> bool:
+    """Return ``True`` iff every disjunct of ``contained`` is contained in
+    some disjunct of ``container`` (Sagiv–Yannakakis criterion for UCQs
+    without comparisons; sound in general)."""
+    contained_cqs = list(contained)
+    container_cqs = list(container)
+    return all(
+        any(is_contained_in(cq, other) for other in container_cqs)
+        for cq in contained_cqs
+    )
+
+
+def cq_subsumed_by_any(
+    candidate: ConjunctiveQuery, others: Iterable[ConjunctiveQuery]
+) -> bool:
+    """Return ``True`` iff ``candidate`` is contained in some query in ``others``.
+
+    Used to drop redundant disjuncts from a union of rewritings: if a
+    conjunctive rewriting is contained in another one we already have, it
+    contributes no new certain answers.
+    """
+    return any(is_contained_in(candidate, other) for other in others if other is not candidate)
+
+
+def remove_redundant_disjuncts(disjuncts: Iterable[ConjunctiveQuery]) -> list[ConjunctiveQuery]:
+    """Remove disjuncts that are contained in another disjunct.
+
+    Keeps the first representative of each equivalence class (stable with
+    respect to input order), so the result is deterministic.
+    """
+    kept: list[ConjunctiveQuery] = []
+    pending = list(disjuncts)
+    for cq in pending:
+        if not any(is_contained_in(cq, other) for other in kept):
+            # Remove any already-kept disjunct subsumed by the new one.
+            kept = [other for other in kept if not is_contained_in(other, cq)]
+            kept.append(cq)
+    return kept

@@ -1,0 +1,244 @@
+"""Evaluation of conjunctive queries, UCQs, and datalog programs.
+
+Evaluation works against any *fact source*: either a plain mapping from
+predicate names to collections of tuples, or an object exposing
+``get_tuples(predicate) -> Iterable[tuple]`` (the
+:class:`repro.database.instance.Instance` class does).  Results are sets of
+Python tuples of plain values (the values held by :class:`Constant`).
+
+Conjunctive queries are evaluated by backtracking joins with the same
+most-constrained-first atom ordering used for homomorphism search.
+Datalog programs are evaluated with semi-naive fixpoint iteration, which
+is what the PDMS needs to materialise definitional mappings and what the
+inverse-rules baseline needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Protocol, Sequence, Set, Tuple, Union
+
+from ..errors import EvaluationError
+from .atoms import Atom, BodyAtom, ComparisonAtom, compare_values
+from .queries import ConjunctiveQuery, DatalogProgram, UnionQuery
+from .terms import Constant, Term, Variable, is_variable
+
+#: A row of plain Python values.
+Row = Tuple[object, ...]
+
+
+class FactSource(Protocol):
+    """Protocol for anything that can supply tuples for a predicate."""
+
+    def get_tuples(self, predicate: str) -> Iterable[Row]:  # pragma: no cover - protocol
+        ...
+
+
+FactsLike = Union[FactSource, Mapping[str, Iterable[Row]]]
+
+
+class _MappingFacts:
+    """Adapter presenting a plain mapping as a :class:`FactSource`."""
+
+    def __init__(self, mapping: Mapping[str, Iterable[Row]]):
+        self._mapping = {name: set(map(tuple, rows)) for name, rows in mapping.items()}
+
+    def get_tuples(self, predicate: str) -> Iterable[Row]:
+        return self._mapping.get(predicate, ())
+
+
+def as_fact_source(facts: FactsLike) -> FactSource:
+    """Coerce a mapping or fact source into a :class:`FactSource`."""
+    if hasattr(facts, "get_tuples"):
+        return facts  # type: ignore[return-value]
+    if isinstance(facts, Mapping):
+        return _MappingFacts(facts)
+    raise EvaluationError(f"cannot use {type(facts).__name__} as a fact source")
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive-query evaluation
+# ---------------------------------------------------------------------------
+
+def _order_body(body: Sequence[Atom]) -> List[Atom]:
+    """Order relational atoms most-constrained-first for the join search."""
+    remaining = list(body)
+    ordered: List[Atom] = []
+    bound: set[Variable] = set()
+    while remaining:
+        def score(atom: Atom) -> Tuple[int, int]:
+            consts = sum(1 for a in atom.args if not is_variable(a))
+            shared = sum(1 for a in atom.args if is_variable(a) and a in bound)
+            return (shared + consts, consts)
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variable_set())
+    return ordered
+
+
+def _bindings(
+    body: Sequence[BodyAtom], facts: FactSource
+) -> Iterator[Dict[Variable, object]]:
+    """Yield every assignment of body variables satisfying the body."""
+    relational = [a for a in body if isinstance(a, Atom)]
+    comparisons = [a for a in body if isinstance(a, ComparisonAtom)]
+    ordered = _order_body(relational)
+
+    def comparison_ready(comp: ComparisonAtom, binding: Mapping[Variable, object]) -> bool:
+        return all(v in binding for v in comp.variables())
+
+    def comparison_holds(comp: ComparisonAtom, binding: Mapping[Variable, object]) -> bool:
+        def value(term: Term) -> object:
+            if isinstance(term, Constant):
+                return term.value
+            return binding[term]  # type: ignore[index]
+
+        return compare_values(value(comp.left), comp.op, value(comp.right))
+
+    def backtrack(index: int, binding: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
+        # Apply any comparison whose variables are all bound; prune eagerly.
+        for comp in comparisons:
+            if comparison_ready(comp, binding) and not comparison_holds(comp, binding):
+                return
+        if index == len(ordered):
+            yield dict(binding)
+            return
+        atom = ordered[index]
+        for row in facts.get_tuples(atom.predicate):
+            if len(row) != atom.arity:
+                raise EvaluationError(
+                    f"arity mismatch: relation {atom.predicate} holds a row of "
+                    f"width {len(row)} but the atom has arity {atom.arity}"
+                )
+            extended = dict(binding)
+            ok = True
+            for arg, value in zip(atom.args, row):
+                if is_variable(arg):
+                    existing = extended.get(arg)  # type: ignore[arg-type]
+                    if existing is None and arg not in extended:
+                        extended[arg] = value  # type: ignore[index]
+                    elif existing != value:
+                        ok = False
+                        break
+                else:
+                    assert isinstance(arg, Constant)
+                    if arg.value != value:
+                        ok = False
+                        break
+            if ok:
+                yield from backtrack(index + 1, extended)
+
+    if not ordered:
+        # A body with no relational atoms (only possible for ground heads).
+        binding: Dict[Variable, object] = {}
+        if all(
+            comparison_holds(c, binding) for c in comparisons if comparison_ready(c, binding)
+        ):
+            yield binding
+        return
+    yield from backtrack(0, {})
+
+
+def evaluate_query(query: ConjunctiveQuery, facts: FactsLike) -> Set[Row]:
+    """Evaluate a conjunctive query over ``facts`` and return the answer set."""
+    source = as_fact_source(facts)
+    answers: Set[Row] = set()
+    for binding in _bindings(query.body, source):
+        row: List[object] = []
+        for arg in query.head.args:
+            if is_variable(arg):
+                row.append(binding[arg])  # type: ignore[index]
+            else:
+                assert isinstance(arg, Constant)
+                row.append(arg.value)
+        answers.add(tuple(row))
+    return answers
+
+
+def evaluate_union(union: UnionQuery, facts: FactsLike) -> Set[Row]:
+    """Evaluate a union of conjunctive queries (set semantics)."""
+    source = as_fact_source(facts)
+    answers: Set[Row] = set()
+    for disjunct in union:
+        answers |= evaluate_query(disjunct, source)
+    return answers
+
+
+# ---------------------------------------------------------------------------
+# Datalog evaluation (semi-naive)
+# ---------------------------------------------------------------------------
+
+class _LayeredFacts:
+    """Fact source that overlays derived IDB facts on top of EDB facts."""
+
+    def __init__(self, base: FactSource, derived: Mapping[str, Set[Row]]):
+        self._base = base
+        self._derived = derived
+
+    def get_tuples(self, predicate: str) -> Iterable[Row]:
+        derived = self._derived.get(predicate, set())
+        base = list(self._base.get_tuples(predicate))
+        if not base:
+            return derived
+        return set(base) | derived
+
+
+def evaluate_program(
+    program: DatalogProgram,
+    facts: FactsLike,
+    max_iterations: Optional[int] = None,
+) -> Dict[str, Set[Row]]:
+    """Evaluate a datalog program to fixpoint (semi-naive).
+
+    Returns a mapping from every IDB predicate to its derived tuples.  EDB
+    facts are read from ``facts`` and are *not* included in the result
+    unless an IDB rule rederives them under an IDB predicate name.
+
+    Parameters
+    ----------
+    max_iterations:
+        Optional safety bound; ``None`` runs to fixpoint.  The fixpoint
+        always terminates because the Herbrand base over the active domain
+        is finite.
+    """
+    source = as_fact_source(facts)
+    idb: Dict[str, Set[Row]] = {p: set() for p in program.idb_predicates()}
+    delta: Dict[str, Set[Row]] = {p: set() for p in program.idb_predicates()}
+
+    # Naive first round to seed the deltas.
+    layered = _LayeredFacts(source, idb)
+    for rule in program.rules:
+        derived = evaluate_query(ConjunctiveQuery(rule.head, rule.body), layered)
+        delta[rule.name] |= derived - idb[rule.name]
+    for name, rows in delta.items():
+        idb[name] |= rows
+
+    iteration = 0
+    while any(delta.values()):
+        iteration += 1
+        if max_iterations is not None and iteration > max_iterations:
+            raise EvaluationError(
+                f"datalog evaluation exceeded {max_iterations} iterations"
+            )
+        new_delta: Dict[str, Set[Row]] = {p: set() for p in idb}
+        layered = _LayeredFacts(source, idb)
+        for rule in program.rules:
+            # Semi-naive: only rules that mention a predicate whose delta is
+            # non-empty can derive anything new this round.
+            if not any(delta.get(p) for p in rule.predicates()):
+                continue
+            derived = evaluate_query(ConjunctiveQuery(rule.head, rule.body), layered)
+            new_delta[rule.name] |= derived - idb[rule.name]
+        for name, rows in new_delta.items():
+            idb[name] |= rows
+        delta = new_delta
+    return idb
+
+
+def evaluate_program_query(
+    program: DatalogProgram, facts: FactsLike
+) -> Set[Row]:
+    """Evaluate a datalog program and return the tuples of its query predicate."""
+    result = evaluate_program(program, facts)
+    return result.get(program.query_predicate, set())

@@ -1,0 +1,149 @@
+"""Homomorphism search between sets of atoms and between queries.
+
+A *homomorphism* from a set of atoms ``A`` to a set of atoms ``B`` is a
+mapping ``h`` from the variables of ``A`` to terms of ``B`` such that every
+atom of ``A`` is mapped onto some atom of ``B`` (constants map to
+themselves).  Query containment (Chandra–Merkurio 1977 style) reduces to
+the existence of a *containment mapping*: a homomorphism from the body of
+the containing query to the body of the contained query that maps head to
+head.
+
+This is the engine behind:
+
+* CQ containment and equivalence (:mod:`repro.datalog.containment`),
+* CQ minimization (:mod:`repro.datalog.minimize`),
+* detection of redundant rewritings in the PDMS reformulation step.
+
+The search is a straightforward backtracking over candidate target atoms
+per source atom, with the most-constrained-first atom ordering; bodies in
+this domain are small (a handful of atoms) so this is plenty fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from .atoms import Atom
+from .terms import Constant, Term, Variable, is_variable
+from .unify import Substitution, apply_substitution_term
+
+
+def _extend(
+    pattern: Atom, target: Atom, mapping: Substitution
+) -> Optional[Substitution]:
+    """Try to extend ``mapping`` so that ``pattern`` maps onto ``target``."""
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    result = dict(mapping)
+    for p_arg, t_arg in zip(pattern.args, target.args):
+        if is_variable(p_arg):
+            bound = result.get(p_arg)  # type: ignore[arg-type]
+            if bound is None:
+                result[p_arg] = t_arg  # type: ignore[index]
+            elif bound != t_arg:
+                return None
+        else:
+            if p_arg != t_arg:
+                return None
+    return result
+
+
+def _order_atoms(atoms: Sequence[Atom]) -> List[Atom]:
+    """Order atoms so that highly constrained ones (more constants, shared
+    variables with earlier atoms) come first; a cheap heuristic that keeps
+    the backtracking shallow."""
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    bound_vars: set[Variable] = set()
+    while remaining:
+        def score(atom: Atom) -> tuple[int, int]:
+            consts = sum(1 for a in atom.args if not is_variable(a))
+            shared = sum(1 for a in atom.args if is_variable(a) and a in bound_vars)
+            return (consts + shared, consts)
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound_vars.update(best.variable_set())
+    return ordered
+
+
+def find_homomorphisms(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    seed: Optional[Mapping[Variable, Term]] = None,
+) -> Iterator[Substitution]:
+    """Yield every homomorphism from ``source`` atoms into ``target`` atoms.
+
+    Parameters
+    ----------
+    source:
+        Atoms whose variables are to be mapped.
+    target:
+        Atoms that must cover the image of every source atom.
+    seed:
+        Optional partial mapping that every returned homomorphism must
+        extend (used for containment mappings, where the head fixes part
+        of the mapping).
+    """
+    ordered = _order_atoms(source)
+    by_predicate: Dict[str, List[Atom]] = {}
+    for atom in target:
+        by_predicate.setdefault(atom.predicate, []).append(atom)
+
+    def backtrack(index: int, mapping: Substitution) -> Iterator[Substitution]:
+        if index == len(ordered):
+            yield dict(mapping)
+            return
+        atom = ordered[index]
+        for candidate in by_predicate.get(atom.predicate, ()):
+            extended = _extend(atom, candidate, mapping)
+            if extended is not None:
+                yield from backtrack(index + 1, extended)
+
+    initial: Substitution = dict(seed) if seed else {}
+    yield from backtrack(0, initial)
+
+
+def find_homomorphism(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    seed: Optional[Mapping[Variable, Term]] = None,
+) -> Optional[Substitution]:
+    """Return one homomorphism from ``source`` into ``target``, or ``None``."""
+    return next(find_homomorphisms(source, target, seed), None)
+
+
+def has_homomorphism(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    seed: Optional[Mapping[Variable, Term]] = None,
+) -> bool:
+    """Return ``True`` iff a homomorphism from ``source`` into ``target`` exists."""
+    return find_homomorphism(source, target, seed) is not None
+
+
+def head_seed(
+    container_head: Atom, contained_head: Atom
+) -> Optional[Substitution]:
+    """Build the seed mapping required for a containment mapping.
+
+    A containment mapping from query ``Q1`` (container) to ``Q2``
+    (contained) must map the head of ``Q1`` onto the head of ``Q2``
+    argument-by-argument.  Returns ``None`` if the heads are incompatible
+    (different arity, or a constant mismatch).
+    """
+    if container_head.arity != contained_head.arity:
+        return None
+    seed: Substitution = {}
+    for c_arg, d_arg in zip(container_head.args, contained_head.args):
+        if is_variable(c_arg):
+            bound = seed.get(c_arg)  # type: ignore[arg-type]
+            if bound is None:
+                seed[c_arg] = d_arg  # type: ignore[index]
+            elif bound != d_arg:
+                return None
+        else:
+            if c_arg != d_arg:
+                return None
+    return seed

@@ -1,0 +1,236 @@
+"""Parser for the textual conjunctive-query / datalog / PPL syntax.
+
+The grammar mirrors the paper's notation as closely as plain text allows::
+
+    query      := atom ":-" body
+    body       := literal ("," literal)*
+    literal    := atom | comparison
+    atom       := predicate "(" term ("," term)* ")"
+    predicate  := identifier (":" identifier)?        # peer-qualified names
+    term       := variable | constant
+    variable   := identifier starting with a letter or "_"
+    constant   := '"' characters '"'  |  "'" characters "'"  |  number
+    comparison := term op term        with op in  = != < <= > >=
+
+Examples
+--------
+>>> parse_query('Q(f1,f2) :- SameEngine(f1,f2,e), Skill(f1,s), Skill(f2,s)')
+ConjunctiveQuery(Q(f1, f2) :- SameEngine(f1, f2, e), Skill(f1, s), Skill(f2, s))
+
+>>> parse_query('R(x) :- S(x, y), y < 5')
+ConjunctiveQuery(R(x) :- S(x, y), y < 5)
+
+Peer-qualified predicates use the paper's ``peer:relation`` form::
+
+    9DC:SkilledPerson(PID, "Doctor") :- H:Doctor(PID, h, l, s, e)
+
+Identifiers may contain letters, digits, ``_``, and a single ``:``
+separating a peer name from a relation name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from .atoms import COMPARISON_OPERATORS, Atom, BodyAtom, ComparisonAtom
+from .queries import ConjunctiveQuery, DatalogProgram, DatalogRule, UnionQuery
+from .terms import Constant, Term, Variable
+
+# Identifier segments must contain at least one letter or underscore so
+# that pure numbers fall through to NUMBER; this lets the paper's peer
+# names that start with a digit ("9DC") parse as identifiers.
+_SEGMENT = r"[A-Za-z_0-9]*[A-Za-z_][A-Za-z_0-9]*"
+
+_TOKEN_REGEX = re.compile(
+    rf"""
+    (?P<WS>\s+)
+  | (?P<ARROW>:-)
+  | (?P<STRING>"[^"]*"|'[^']*')
+  | (?P<IDENT>{_SEGMENT}(?::{_SEGMENT})?)
+  | (?P<NUMBER>-?\d+\.\d+|-?\d+)
+  | (?P<OP><=|>=|!=|=|<|>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_REGEX.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", text, position)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self._text, len(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.kind} ({token.value!r})",
+                self._text,
+                token.position,
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "IDENT":
+            return Variable(token.value)
+        if token.kind == "STRING":
+            return Constant(token.value[1:-1])
+        if token.kind == "NUMBER":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Constant(value)
+        raise ParseError(
+            f"expected a term but found {token.value!r}", self._text, token.position
+        )
+
+    def parse_atom_or_comparison(self) -> BodyAtom:
+        start_index = self._index
+        token = self._next()
+        if token.kind == "IDENT" and self._peek() and self._peek().kind == "LPAREN":
+            # Relational atom.
+            predicate = token.value
+            self._expect("LPAREN")
+            args: List[Term] = []
+            if self._peek() and self._peek().kind != "RPAREN":
+                args.append(self.parse_term())
+                while self._peek() and self._peek().kind == "COMMA":
+                    self._next()
+                    args.append(self.parse_term())
+            self._expect("RPAREN")
+            return Atom(predicate, args)
+        # Otherwise it must be a comparison: rewind and parse term op term.
+        self._index = start_index
+        left = self.parse_term()
+        op_token = self._expect("OP")
+        if op_token.value not in COMPARISON_OPERATORS:
+            raise ParseError(
+                f"unknown comparison operator {op_token.value!r}",
+                self._text,
+                op_token.position,
+            )
+        right = self.parse_term()
+        return ComparisonAtom(left, op_token.value, right)
+
+    def parse_head(self) -> Atom:
+        atom = self.parse_atom_or_comparison()
+        if not isinstance(atom, Atom):
+            raise ParseError("query head must be a relational atom", self._text)
+        return atom
+
+    def parse_body(self) -> List[BodyAtom]:
+        body: List[BodyAtom] = [self.parse_atom_or_comparison()]
+        while self._peek() and self._peek().kind == "COMMA":
+            self._next()
+            body.append(self.parse_atom_or_comparison())
+        return body
+
+    def parse_query(self) -> ConjunctiveQuery:
+        head = self.parse_head()
+        self._expect("ARROW")
+        body = self.parse_body()
+        if not self.at_end():
+            token = self._peek()
+            raise ParseError(
+                f"unexpected trailing input {token.value!r}", self._text, token.position
+            )
+        return ConjunctiveQuery(head, body)
+
+    def parse_atom_only(self) -> Atom:
+        atom = self.parse_atom_or_comparison()
+        if not isinstance(atom, Atom):
+            raise ParseError("expected a relational atom", self._text)
+        if not self.at_end():
+            token = self._peek()
+            raise ParseError(
+                f"unexpected trailing input {token.value!r}", self._text, token.position
+            )
+        return atom
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query of the form ``Head(...) :- body``."""
+    return _Parser(text).parse_query()
+
+
+def parse_rule(text: str) -> DatalogRule:
+    """Parse a datalog rule (same syntax as a conjunctive query)."""
+    query = parse_query(text)
+    return DatalogRule(query.head, query.body)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single relational atom such as ``R(x, "a", 3)``."""
+    return _Parser(text).parse_atom_only()
+
+
+def parse_program(text: str, query_predicate: str) -> DatalogProgram:
+    """Parse a datalog program: one rule per non-empty, non-comment line.
+
+    Lines starting with ``%`` or ``#`` are comments.
+    """
+    rules: List[DatalogRule] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("%", "#")):
+            continue
+        rules.append(parse_rule(stripped))
+    return DatalogProgram(rules, query_predicate)
+
+
+def parse_union(lines: Union[str, Sequence[str]]) -> UnionQuery:
+    """Parse a union of conjunctive queries (one disjunct per line)."""
+    if isinstance(lines, str):
+        lines = [l for l in lines.splitlines() if l.strip() and not l.strip().startswith(("%", "#"))]
+    disjuncts = [parse_query(line) for line in lines]
+    return UnionQuery(disjuncts)

@@ -1,0 +1,39 @@
+"""Classic two-tier data-integration substrate (GAV, LAV, MiniCon, Bucket).
+
+The PDMS of the paper generalises this two-tier picture; the PDMS package
+reuses the MiniCon MCD construction implemented here for its inclusion
+expansions, and the GAV unfolding logic for its definitional expansions.
+"""
+
+from .bucket import rewrite as bucket_rewrite
+from .certain import certain_answers_by_freezing, freeze_canonical_instance
+from .gav import GAVMediator
+from .inverse_rules import (
+    SkolemValue,
+    build_canonical_instance,
+    certain_answers,
+    contains_skolem,
+)
+from .lav import LAVMediator, RewritingAlgorithm
+from .minicon import MCD, create_mcds
+from .minicon import rewrite as minicon_rewrite
+from .views import View, ViewKind, ViewSet
+
+__all__ = [
+    "GAVMediator",
+    "LAVMediator",
+    "MCD",
+    "RewritingAlgorithm",
+    "SkolemValue",
+    "View",
+    "ViewKind",
+    "ViewSet",
+    "bucket_rewrite",
+    "build_canonical_instance",
+    "certain_answers",
+    "certain_answers_by_freezing",
+    "contains_skolem",
+    "create_mcds",
+    "freeze_canonical_instance",
+    "minicon_rewrite",
+]

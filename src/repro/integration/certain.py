@@ -1,0 +1,78 @@
+"""Brute-force certain-answer computation for small LAV settings.
+
+The inverse-rules construction in :mod:`repro.integration.inverse_rules`
+gives certain answers efficiently for conjunctive queries over sound
+views.  For *validation* we also want an implementation that follows the
+definition of certain answers as literally as possible: enumerate
+candidate mediated-schema instances that are consistent with the view
+extensions and intersect the query answers over them.
+
+Enumerating all consistent instances is impossible in general (there are
+infinitely many), but for testing we exploit a standard fact: for
+monotonic (conjunctive) queries it suffices to consider the canonical
+instance and arbitrary extensions of it, and any certain answer must
+already appear over the canonical instance with nulls interpreted as
+*some* values.  We therefore cross-check by substituting fresh distinct
+constants for nulls ("freezing"), which gives the same certain answers
+for CQs — this module exposes that independent path so property tests can
+compare the two.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, Sequence, Set, Tuple
+
+from ..database.instance import Instance
+from ..datalog.evaluation import FactsLike, evaluate_query
+from ..datalog.queries import ConjunctiveQuery
+from .inverse_rules import SkolemValue, build_canonical_instance, contains_skolem
+from .views import View, ViewSet
+
+Row = Tuple[object, ...]
+
+
+def freeze_canonical_instance(canonical: Instance) -> Instance:
+    """Replace every labelled null with a fresh, distinct frozen constant.
+
+    Freezing turns the canonical instance into an ordinary instance that
+    is one particular consistent world; evaluating a CQ on it and keeping
+    only null-free answers yields the certain answers (monotonicity).
+    """
+    frozen = Instance()
+    replacements: Dict[SkolemValue, str] = {}
+
+    def frozen_value(value: object) -> object:
+        if isinstance(value, SkolemValue):
+            if value not in replacements:
+                replacements[value] = f"⊥{len(replacements)}"
+            return replacements[value]
+        return value
+
+    for relation in canonical.relations():
+        for row in canonical.get_tuples(relation):
+            frozen.add(relation, tuple(frozen_value(v) for v in row))
+    return frozen
+
+
+def certain_answers_by_freezing(
+    query: ConjunctiveQuery,
+    views: ViewSet | Iterable[View],
+    view_extensions: FactsLike,
+) -> Set[Row]:
+    """Certain answers computed on the frozen canonical instance.
+
+    An answer is certain iff it is produced over the frozen instance and
+    contains no frozen null.  This is an independent implementation path
+    from :func:`repro.integration.inverse_rules.certain_answers` (which
+    evaluates over the unfrozen instance); tests assert the two agree.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(views)
+    canonical = build_canonical_instance(view_set, view_extensions)
+    frozen = freeze_canonical_instance(canonical)
+    answers = evaluate_query(query, frozen)
+    return {
+        row
+        for row in answers
+        if not any(isinstance(v, str) and v.startswith("⊥") for v in row)
+    }

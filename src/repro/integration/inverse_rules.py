@@ -1,0 +1,136 @@
+"""The inverse-rules algorithm and Skolem-based canonical instances.
+
+The inverse-rules algorithm (Duschka & Genesereth, PODS 1997 — reference
+[9] of the paper) answers LAV queries by turning every view definition
+
+    V(X̅) :- p1(...), ..., pn(...)
+
+into *inverse rules*: one rule per body atom,
+
+    pi(...) :- V(X̅)
+
+where each existential variable of the view is replaced by a Skolem term
+over the view's head variables.  Evaluating the inverse rules over the
+view extensions yields a canonical database containing labelled nulls
+(Skolem values); evaluating the query over it and discarding any answer
+containing a null gives exactly the certain answers for conjunctive
+queries over sound (⊆) views.
+
+We represent Skolem terms as :class:`SkolemValue` objects living in the
+*value* space (not the term space), so the standard evaluation engine
+handles them without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..database.instance import Instance
+from ..datalog.atoms import Atom
+from ..datalog.evaluation import FactsLike, as_fact_source, evaluate_query
+from ..datalog.queries import ConjunctiveQuery
+from ..datalog.terms import Constant, Variable, is_variable
+from .views import View, ViewSet
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class SkolemValue:
+    """A labelled null: the value of a view existential for one view tuple.
+
+    ``function`` identifies the view and existential variable; ``args`` is
+    the tuple of head values the Skolem term depends on.
+    """
+
+    function: str
+    args: Tuple[object, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.function}({inner})"
+
+
+def contains_skolem(row: Sequence[object]) -> bool:
+    """Return ``True`` iff any position of the row is a labelled null."""
+    return any(isinstance(value, SkolemValue) for value in row)
+
+
+def build_canonical_instance(
+    views: ViewSet | Iterable[View], view_extensions: FactsLike
+) -> Instance:
+    """Apply the inverse rules to view extensions, producing a canonical instance.
+
+    Parameters
+    ----------
+    views:
+        The LAV view definitions (source descriptions).
+    view_extensions:
+        Fact source holding the tuples of each *view* (source) relation.
+
+    Returns
+    -------
+    Instance
+        An instance over the mediated-schema relations whose unknown
+        positions carry :class:`SkolemValue` labelled nulls.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(views)
+    source = as_fact_source(view_extensions)
+    canonical = Instance()
+
+    for view in view_set:
+        definition = view.definition
+        head_vars = definition.head_variables()
+        existentials = sorted(definition.existential_variables())
+        for row in source.get_tuples(view.name):
+            if len(row) != definition.arity:
+                continue
+            binding: Dict[Variable, object] = {}
+            consistent = True
+            for arg, value in zip(definition.head.args, row):
+                if is_variable(arg):
+                    existing = binding.get(arg)  # type: ignore[arg-type]
+                    if existing is not None and existing != value:
+                        consistent = False
+                        break
+                    binding[arg] = value  # type: ignore[index]
+                else:
+                    assert isinstance(arg, Constant)
+                    if arg.value != value:
+                        consistent = False
+                        break
+            if not consistent:
+                continue
+            head_values = tuple(binding[v] for v in head_vars if v in binding)
+            for existential in existentials:
+                binding[existential] = SkolemValue(
+                    f"f_{view.name}_{existential.name}", head_values
+                )
+            for atom in definition.relational_body():
+                values: List[object] = []
+                for arg in atom.args:
+                    if is_variable(arg):
+                        values.append(binding[arg])  # type: ignore[index]
+                    else:
+                        assert isinstance(arg, Constant)
+                        values.append(arg.value)
+                canonical.add(atom.predicate, values)
+    return canonical
+
+
+def certain_answers(
+    query: ConjunctiveQuery,
+    views: ViewSet | Iterable[View],
+    view_extensions: FactsLike,
+) -> Set[Row]:
+    """Certain answers of ``query`` over sound LAV views via inverse rules.
+
+    Builds the canonical instance, evaluates the query over it, and keeps
+    only answers free of labelled nulls.  For conjunctive queries without
+    comparison predicates over ``⊆`` views this returns exactly the
+    certain answers.
+    """
+    canonical = build_canonical_instance(views, view_extensions)
+    answers = evaluate_query(query, canonical)
+    return {row for row in answers if not contains_skolem(row)}

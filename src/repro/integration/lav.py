@@ -1,0 +1,85 @@
+"""Local-as-view (LAV) mediation facade.
+
+A :class:`LAVMediator` holds the source descriptions (views over the
+mediated schema) and answers queries posed over the mediated schema by
+rewriting them over the sources, using either MiniCon (default) or the
+Bucket algorithm, and optionally computing certain answers directly with
+the inverse-rules construction for validation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Set, Tuple
+
+from ..datalog.evaluation import FactsLike, evaluate_union
+from ..datalog.queries import ConjunctiveQuery, UnionQuery
+from ..errors import MappingError
+from . import bucket as bucket_module
+from . import minicon as minicon_module
+from .inverse_rules import certain_answers as inverse_rules_certain_answers
+from .views import View, ViewSet
+
+Row = Tuple[object, ...]
+
+
+class RewritingAlgorithm(str, Enum):
+    """Which rewriting algorithm a :class:`LAVMediator` uses."""
+
+    MINICON = "minicon"
+    BUCKET = "bucket"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class LAVMediator:
+    """A LAV data-integration mediator.
+
+    Parameters
+    ----------
+    sources:
+        Source descriptions: views whose head predicate is the *source*
+        relation and whose body is over the mediated schema.
+    algorithm:
+        Rewriting algorithm to use (:class:`RewritingAlgorithm`).
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[View] = (),
+        algorithm: RewritingAlgorithm = RewritingAlgorithm.MINICON,
+    ):
+        self._views = ViewSet(sources)
+        self._algorithm = algorithm
+
+    @property
+    def views(self) -> ViewSet:
+        """The registered source descriptions."""
+        return self._views
+
+    @property
+    def algorithm(self) -> RewritingAlgorithm:
+        """The rewriting algorithm in use."""
+        return self._algorithm
+
+    def add_source(self, view: View) -> None:
+        """Register one more source description."""
+        self._views.add(view)
+
+    def rewrite(self, query: ConjunctiveQuery) -> UnionQuery:
+        """Rewrite a mediated-schema query over the source relations."""
+        if self._algorithm is RewritingAlgorithm.MINICON:
+            return minicon_module.rewrite(query, self._views)
+        if self._algorithm is RewritingAlgorithm.BUCKET:
+            return bucket_module.rewrite(query, self._views)
+        raise MappingError(f"unknown rewriting algorithm {self._algorithm}")
+
+    def answer(self, query: ConjunctiveQuery, source_data: FactsLike) -> Set[Row]:
+        """Rewrite the query and evaluate the rewriting over source extensions."""
+        rewriting = self.rewrite(query)
+        return evaluate_union(rewriting, source_data)
+
+    def certain_answers(self, query: ConjunctiveQuery, source_data: FactsLike) -> Set[Row]:
+        """Certain answers via the inverse-rules canonical instance (ground truth)."""
+        return inverse_rules_certain_answers(query, self._views, source_data)

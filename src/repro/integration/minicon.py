@@ -1,0 +1,429 @@
+"""The MiniCon algorithm for answering queries using views.
+
+MiniCon (Pottinger & Halevy, VLDB Journal 2001) is the LAV rewriting
+algorithm the paper builds its *inclusion expansion* on (Section 4.1
+recalls it explicitly).  It has two phases:
+
+1. **MCD construction.**  For every query subgoal ``g`` and every view
+   ``V`` containing a subgoal unifiable with ``g``, try to build a
+   *MiniCon description* (MCD).  The MCD records which query subgoals the
+   view atom covers; the defining properties are
+
+   * C1 — a distinguished (head) variable of the query that occurs in a
+     covered subgoal must be mapped to a distinguished variable of the
+     view (or to a constant), and
+   * C2 — if a query variable is mapped to an *existential* variable of
+     the view, then **every** query subgoal mentioning that variable must
+     be covered by this same MCD.
+
+   Property C2 is why an MCD "may tell us that it covers more than the
+   original subgoal for which it was created" — exactly the behaviour the
+   PDMS reformulation algorithm records in its ``unc`` labels.
+
+2. **Combination.**  Rewritings are produced by combining MCDs whose
+   covered-subgoal sets are *disjoint* and together cover every relational
+   subgoal of the query.
+
+The same MCD construction is reused by :mod:`repro.pdms.reformulation` for
+inclusion expansions, where the "query" is the parent rule node's head and
+children and the "view" is the normalised inclusion description ``V ⊆ Q2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom, ComparisonAtom
+from ..datalog.containment import remove_redundant_disjuncts
+from ..datalog.queries import ConjunctiveQuery, UnionQuery
+from ..datalog.terms import Constant, FreshVariableFactory, Term, Variable, is_variable
+from ..datalog.unify import Substitution, apply_substitution_term, unify_atoms
+from .views import View, ViewSet
+
+
+@dataclass(frozen=True)
+class MCD:
+    """A MiniCon description.
+
+    Attributes
+    ----------
+    view:
+        The view this MCD uses.
+    view_atom:
+        The atom over the view's name to place in rewritings.  Its
+        arguments are expressed in terms of the query's variables and
+        constants wherever the view exports them; positions bound only to
+        view existentials carry fresh variables.
+    covered:
+        Indices (into the query's *relational* body) of the subgoals this
+        MCD covers.
+    created_for:
+        Index of the subgoal the MCD construction started from.
+    equalities:
+        Equality atoms the rewriting must enforce because the unification
+        behind this MCD identified two exported query variables with each
+        other (or with a constant) — e.g. covering both ``Skill(f1,s)``
+        and ``Skill(f2,s)`` with the *same* view subgoal forces ``f1 = f2``.
+        Omitting them would make the rewriting unsound.
+    """
+
+    view: View
+    view_atom: Atom
+    covered: FrozenSet[int]
+    created_for: int
+    equalities: Tuple[ComparisonAtom, ...] = ()
+
+    def __str__(self) -> str:
+        goals = ",".join(str(i) for i in sorted(self.covered))
+        extra = f" with {', '.join(map(str, self.equalities))}" if self.equalities else ""
+        return f"MCD({self.view_atom} covers [{goals}]{extra})"
+
+
+class _MCDBuilder:
+    """Backtracking construction of all MCDs for one query/view pair."""
+
+    def __init__(self, query: ConjunctiveQuery, view: View, fresh: FreshVariableFactory):
+        self._query = query
+        self._view = view
+        self._fresh = fresh
+        self._subgoals: List[Atom] = query.relational_body()
+        self._query_vars = query.all_variables()
+        self._distinguished = set(query.head_variables())
+        # Rename the view apart from the query once per builder.
+        renamed = view.definition.rename_apart(fresh)
+        self._view_head = renamed.head
+        self._view_body: List[Atom] = renamed.relational_body()
+        self._view_head_vars = set(renamed.head.variables())
+        self._view_existentials = renamed.body_variables() - self._view_head_vars
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _resolve(self, term: Term, theta: Substitution) -> Term:
+        return apply_substitution_term(term, theta)
+
+    def _exported(self, variable: Variable, theta: Substitution) -> bool:
+        """Does the equivalence class of ``variable`` under ``theta`` contain a
+        constant or a view head variable?  (Then the view exports it.)"""
+        value = self._resolve(variable, theta)
+        if not is_variable(value):
+            return True
+        return any(self._resolve(v, theta) == value for v in self._view_head_vars)
+
+    def _subgoals_with(self, variable: Variable) -> Set[int]:
+        return {
+            i
+            for i, atom in enumerate(self._subgoals)
+            if variable in atom.variable_set()
+        }
+
+    # -- construction -------------------------------------------------------------
+
+    def build_for(self, start_index: int) -> Iterator[MCD]:
+        """Yield every MCD whose construction starts at subgoal ``start_index``."""
+        start_atom = self._subgoals[start_index]
+        for view_atom in self._view_body:
+            theta = unify_atoms(start_atom, view_atom)
+            if theta is None:
+                continue
+            used_view_atoms = {id(view_atom)}
+            yield from self._close({start_index}, theta, used_view_atoms, start_index)
+
+    def _close(
+        self,
+        covered: Set[int],
+        theta: Substitution,
+        used_view_atoms: Set[int],
+        start_index: int,
+    ) -> Iterator[MCD]:
+        # Find variables of covered subgoals that are mapped to view
+        # existentials; every subgoal mentioning them must also be covered.
+        required: Set[int] = set()
+        for index in covered:
+            for variable in self._subgoals[index].variable_set():
+                if not self._exported(variable, theta):
+                    required |= self._subgoals_with(variable)
+        missing = required - covered
+        if not missing:
+            mcd = self._finalise(covered, theta, start_index)
+            if mcd is not None:
+                yield mcd
+            return
+        # Cover one missing subgoal by unifying it with some view body atom,
+        # then recurse; different choices yield different MCDs.
+        next_index = min(missing)
+        target = self._subgoals[next_index]
+        for view_atom in self._view_body:
+            extended = unify_atoms(target, view_atom, theta)
+            if extended is None:
+                continue
+            yield from self._close(
+                covered | {next_index},
+                extended,
+                used_view_atoms | {id(view_atom)},
+                start_index,
+            )
+
+    def _finalise(
+        self, covered: Set[int], theta: Substitution, start_index: int
+    ) -> Optional[MCD]:
+        # Validity of the unifier: a view *existential* variable may not be
+        # identified with a view head variable, with a constant, or with a
+        # second existential — the view's definition does not guarantee such
+        # equalities, so an MCD built on them would be unsound.  (In MiniCon
+        # terms: head homomorphisms only ever equate distinguished view
+        # variables.)
+        if not self._existentials_stay_separate(theta):
+            return None
+
+        # Property C1: distinguished query variables occurring in covered
+        # subgoals must be exported by the view.
+        for index in covered:
+            for variable in self._subgoals[index].variable_set():
+                if variable in self._distinguished and not self._exported(variable, theta):
+                    return None
+
+        # Build the view atom of the rewriting: express every head position
+        # of the view in terms of query variables/constants when exported,
+        # otherwise in terms of one fresh variable per equivalence class.
+        class_fresh: Dict[Term, Variable] = {}
+        args: List[Term] = []
+        for head_arg in self._view_head.args:
+            value = self._resolve(head_arg, theta)
+            if not is_variable(value):
+                args.append(value)
+                continue
+            # Prefer a query variable from the same class.
+            query_var = self._class_query_variable(value, theta)
+            if query_var is not None:
+                args.append(query_var)
+                continue
+            fresh_var = class_fresh.get(value)
+            if fresh_var is None:
+                fresh_var = self._fresh("_mv")
+                class_fresh[value] = fresh_var
+            args.append(fresh_var)
+        view_atom = Atom(self._view.name, args)
+        equalities = self._induced_equalities(covered, theta)
+        return MCD(
+            view=self._view,
+            view_atom=view_atom,
+            covered=frozenset(covered),
+            created_for=start_index,
+            equalities=equalities,
+        )
+
+    def _induced_equalities(
+        self, covered: Set[int], theta: Substitution
+    ) -> Tuple[ComparisonAtom, ...]:
+        """Equalities the unification forces among *exported* query variables.
+
+        If two exported query variables of covered subgoals end up in the
+        same equivalence class (or an exported variable ends up bound to a
+        constant), the rewriting that uses this MCD only answers the query
+        when those terms are actually equal, so the equality must travel
+        with the MCD.
+        """
+        exported_vars = sorted(
+            {
+                variable
+                for index in covered
+                for variable in self._subgoals[index].variable_set()
+                if self._exported(variable, theta)
+            }
+        )
+        by_class: Dict[Term, List[Variable]] = {}
+        equalities: List[ComparisonAtom] = []
+        for variable in exported_vars:
+            value = self._resolve(variable, theta)
+            if not is_variable(value):
+                equalities.append(ComparisonAtom(variable, "=", value))
+                continue
+            by_class.setdefault(value, []).append(variable)
+        for members in by_class.values():
+            representative = members[0]
+            for other in members[1:]:
+                equalities.append(ComparisonAtom(representative, "=", other))
+        return tuple(equalities)
+
+    def _existentials_stay_separate(self, theta: Substitution) -> bool:
+        """Check that no view existential got merged with a head variable,
+        a constant, or another existential by the unifier."""
+        classes: Dict[Term, List[Variable]] = {}
+        for existential in self._view_existentials:
+            value = self._resolve(existential, theta)
+            if not is_variable(value):
+                return False  # existential forced equal to a constant
+            classes.setdefault(value, []).append(existential)
+        for value, members in classes.items():
+            if len(members) > 1:
+                return False  # two distinct existentials merged
+            if any(self._resolve(head_var, theta) == value for head_var in self._view_head_vars):
+                return False  # existential merged with a head variable
+        return True
+
+    def _class_query_variable(self, value: Term, theta: Substitution) -> Optional[Variable]:
+        """Return a deterministic query variable whose class under ``theta`` is ``value``."""
+        candidates = [
+            variable
+            for variable in sorted(self._query_vars)
+            if self._resolve(variable, theta) == value
+        ]
+        if not candidates:
+            return None
+        # Prefer distinguished variables for readability; ties broken by name.
+        for variable in candidates:
+            if variable in self._distinguished:
+                return variable
+        return candidates[0]
+
+
+def create_mcds(
+    query: ConjunctiveQuery,
+    view: View,
+    fresh: Optional[FreshVariableFactory] = None,
+    only_subgoal: Optional[int] = None,
+) -> List[MCD]:
+    """Create all MCDs for ``query`` with respect to a single ``view``.
+
+    Parameters
+    ----------
+    only_subgoal:
+        When given, only MCDs *created for* that relational-subgoal index
+        are returned (the PDMS inclusion expansion asks for MCDs of one
+        specific goal node).
+    """
+    if fresh is None:
+        fresh = FreshVariableFactory()
+        fresh.reserve(v.name for v in query.all_variables())
+    builder = _MCDBuilder(query, view, fresh)
+    indices: Iterable[int]
+    if only_subgoal is None:
+        indices = range(len(query.relational_body()))
+    else:
+        indices = [only_subgoal]
+    results: List[MCD] = []
+    seen: Set[Tuple[str, Tuple[Term, ...], FrozenSet[int]]] = set()
+    for index in indices:
+        for mcd in builder.build_for(index):
+            key = (mcd.view_atom.predicate, mcd.view_atom.args, mcd.covered)
+            if key not in seen:
+                seen.add(key)
+                results.append(mcd)
+    return results
+
+
+def _equalities_to_substitution(
+    equalities: Sequence[ComparisonAtom],
+) -> Optional[Dict[Variable, Term]]:
+    """Resolve MCD-induced equalities into a substitution.
+
+    Returns ``None`` when the equalities are contradictory (two distinct
+    constants forced equal).  The substitution is flattened so a single
+    application suffices.
+    """
+    from ..datalog.unify import apply_substitution_term
+
+    substitution: Dict[Variable, Term] = {}
+    for equality in equalities:
+        left = apply_substitution_term(equality.left, substitution)
+        right = apply_substitution_term(equality.right, substitution)
+        if left == right:
+            continue
+        if is_variable(left):
+            substitution[left] = right  # type: ignore[index]
+        elif is_variable(right):
+            substitution[right] = left  # type: ignore[index]
+        else:
+            return None
+    return {
+        variable: apply_substitution_term(variable, substitution)
+        for variable in substitution
+    }
+
+
+def _combinations_covering(
+    mcds: Sequence[MCD], total_subgoals: int
+) -> Iterator[Tuple[MCD, ...]]:
+    """Yield combinations of MCDs with disjoint coverage that cover everything."""
+    all_goals = frozenset(range(total_subgoals))
+
+    def backtrack(remaining: FrozenSet[int], chosen: Tuple[MCD, ...], start: int) -> Iterator[Tuple[MCD, ...]]:
+        if not remaining:
+            yield chosen
+            return
+        target = min(remaining)
+        for index in range(start, len(mcds)):
+            mcd = mcds[index]
+            if target not in mcd.covered:
+                continue
+            if not mcd.covered <= remaining:
+                continue  # must be disjoint from already-covered goals
+            yield from backtrack(remaining - mcd.covered, chosen + (mcd,), 0)
+
+    yield from backtrack(all_goals, (), 0)
+
+
+def rewrite(
+    query: ConjunctiveQuery,
+    views: ViewSet | Iterable[View],
+    minimize_result: bool = True,
+) -> UnionQuery:
+    """Compute the MiniCon rewriting of ``query`` using ``views``.
+
+    Returns the union of conjunctive rewritings over the view predicates.
+    Comparison atoms of the query are appended to each rewriting; a
+    rewriting that cannot express one of them (because a variable it
+    mentions is not exported by any chosen view) is discarded, which keeps
+    the result sound.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(views)
+    fresh = FreshVariableFactory()
+    fresh.reserve(v.name for v in query.all_variables())
+
+    subgoals = query.relational_body()
+    all_mcds: List[MCD] = []
+    for view in view_set:
+        all_mcds.extend(create_mcds(query, view, fresh))
+
+    rewritings: List[ConjunctiveQuery] = []
+    comparisons = query.comparison_body()
+    for combo in _combinations_covering(all_mcds, len(subgoals)):
+        equalities: List[ComparisonAtom] = []
+        for mcd in combo:
+            equalities.extend(mcd.equalities)
+        substitution = _equalities_to_substitution(equalities)
+        if substitution is None:
+            continue
+        head = query.head.substitute(substitution)
+        body: List = [mcd.view_atom.substitute(substitution) for mcd in combo]
+        available = set()
+        for atom in body:
+            available.update(atom.variable_set())
+        # Every query comparison must be expressible over the chosen view
+        # atoms; otherwise the combination would be unsound and is discarded.
+        ok = True
+        applied_comparisons = []
+        for comparison in comparisons:
+            comparison = comparison.substitute(substitution)
+            if comparison.is_ground():
+                if not comparison.evaluate_ground():
+                    ok = False
+                    break
+                continue
+            if not all(v in available for v in comparison.variables()):
+                ok = False
+                break
+            applied_comparisons.append(comparison)
+        if not ok:
+            continue
+        body.extend(applied_comparisons)
+        # Head variables must be present (guaranteed by C1, but verify).
+        if not all(v in available for v in head.variables()):
+            continue
+        rewritings.append(ConjunctiveQuery(head, body))
+
+    if minimize_result:
+        rewritings = remove_redundant_disjuncts(rewritings)
+    return UnionQuery(rewritings, name=query.name, arity=query.arity)

@@ -1,0 +1,65 @@
+"""The PDMS core: the paper's primary contribution.
+
+Peers and their schemas, the PPL mapping language (storage descriptions,
+inclusion/equality/definitional peer mappings), the normalised catalogue,
+complexity analysis per Theorems 3.1–3.3, the rule-goal-tree reformulation
+algorithm of Section 4 with its optimizations, execution over stored
+relations, and the certain-answer semantics of Section 2.2.
+"""
+
+from .analysis import ComplexityClass, ComplexityReport, analyze_pdms, build_inclusion_graph
+from .execution import answer_query, combine_peer_instances, evaluate_reformulation
+from .mappings import (
+    DefinitionalMapping,
+    EqualityMapping,
+    InclusionMapping,
+    StorageDescription,
+    lav_style,
+    replication,
+)
+from .optimizations import DEFAULT_CONFIG, ExpansionOrder, ReformulationConfig
+from .peer import Peer, StoredRelation, qualified_name
+from .reformulation import (
+    ReformulationResult,
+    compute_productive_predicates,
+    reformulate,
+)
+from .rule_goal_tree import GoalNode, RuleGoalTree, RuleNode, TreeStatistics
+from .semantics import build_canonical_instance, certain_answers, is_consistent
+from .system import PDMS, NormalizedCatalogue, NormalizedInclusion, NormalizedRule
+
+__all__ = [
+    "ComplexityClass",
+    "ComplexityReport",
+    "DEFAULT_CONFIG",
+    "DefinitionalMapping",
+    "EqualityMapping",
+    "ExpansionOrder",
+    "GoalNode",
+    "InclusionMapping",
+    "NormalizedCatalogue",
+    "NormalizedInclusion",
+    "NormalizedRule",
+    "PDMS",
+    "Peer",
+    "ReformulationConfig",
+    "ReformulationResult",
+    "RuleGoalTree",
+    "RuleNode",
+    "StorageDescription",
+    "StoredRelation",
+    "TreeStatistics",
+    "analyze_pdms",
+    "answer_query",
+    "build_canonical_instance",
+    "build_inclusion_graph",
+    "certain_answers",
+    "combine_peer_instances",
+    "compute_productive_predicates",
+    "evaluate_reformulation",
+    "is_consistent",
+    "lav_style",
+    "qualified_name",
+    "reformulate",
+    "replication",
+]

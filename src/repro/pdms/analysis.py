@@ -1,0 +1,257 @@
+"""Complexity classification of a PDMS (Theorems 3.1–3.3).
+
+Section 3 of the paper characterises when finding all certain answers is
+tractable.  :func:`analyze_pdms` inspects a PDMS specification and reports
+which case applies:
+
+* **Theorem 3.1** — arbitrary PPL: undecidable in general; with only
+  inclusion descriptions and an *acyclic* inclusion graph (Definition 3.1),
+  polynomial time.
+* **Theorem 3.2** — acyclic inclusions plus equalities: polynomial when
+  equalities are projection-free and definitional heads do not appear on
+  the right-hand side of other descriptions; co-NP-complete when equality
+  storage descriptions project, or when right-hand sides are unions.
+* **Theorem 3.3** — comparison predicates: polynomial when they are
+  confined to storage descriptions and bodies of definitional mappings
+  (and the query); co-NP-complete otherwise.
+
+The report also says whether the reformulation algorithm is *complete*
+(returns all certain answers) for this PDMS, which is the case exactly in
+the polynomial cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .mappings import (
+    DefinitionalMapping,
+    EqualityMapping,
+    InclusionMapping,
+    StorageDescription,
+)
+from .system import PDMS
+
+
+class ComplexityClass(str, Enum):
+    """Data complexity of finding all certain answers."""
+
+    POLYNOMIAL = "polynomial"
+    CONP_COMPLETE = "co-NP-complete"
+    UNDECIDABLE = "undecidable"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ComplexityReport:
+    """Outcome of :func:`analyze_pdms`.
+
+    Attributes
+    ----------
+    complexity:
+        The data-complexity class of finding all certain answers.
+    theorem:
+        Which theorem/bullet of the paper justifies the classification.
+    tractable:
+        Convenience flag, ``True`` iff ``complexity`` is polynomial.
+    algorithm_complete:
+        Whether the reformulation algorithm is guaranteed to return *all*
+        certain answers for this PDMS (it always returns only certain
+        answers).
+    reasons:
+        Human-readable notes explaining the classification.
+    inclusion_graph_acyclic:
+        Result of the Definition 3.1 acyclicity test on inclusion mappings.
+    """
+
+    complexity: ComplexityClass
+    theorem: str
+    tractable: bool
+    algorithm_complete: bool
+    reasons: List[str] = field(default_factory=list)
+    inclusion_graph_acyclic: bool = True
+
+    def __str__(self) -> str:
+        notes = "; ".join(self.reasons) if self.reasons else "no special features"
+        return (
+            f"{self.complexity} ({self.theorem}); "
+            f"algorithm {'complete' if self.algorithm_complete else 'sound but incomplete'}: "
+            f"{notes}"
+        )
+
+
+def build_inclusion_graph(pdms: PDMS) -> Dict[str, Set[str]]:
+    """The directed graph of Definition 3.1 over peer relations.
+
+    There is an arc from relation ``R`` to relation ``S`` if some inclusion
+    peer mapping ``Q1 ⊆ Q2`` mentions ``R`` in ``Q1`` and ``S`` in ``Q2``.
+    Equality mappings contribute both directions (they are pairs of
+    inclusions and "automatically create cycles").
+    """
+    graph: Dict[str, Set[str]] = {}
+
+    def add_edges(left_predicates: Iterable[str], right_predicates: Iterable[str]) -> None:
+        for left in left_predicates:
+            for right in right_predicates:
+                graph.setdefault(left, set()).add(right)
+                graph.setdefault(right, set())
+
+    for mapping in pdms.peer_mappings():
+        if isinstance(mapping, InclusionMapping):
+            add_edges(mapping.left_predicates(), mapping.right_predicates())
+        elif isinstance(mapping, EqualityMapping):
+            add_edges(mapping.left.predicates(), mapping.right.predicates())
+            add_edges(mapping.right.predicates(), mapping.left.predicates())
+    return graph
+
+
+def is_acyclic(graph: Dict[str, Set[str]]) -> bool:
+    """Cycle test on a directed graph given as adjacency sets."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+
+    def visit(node: str) -> bool:
+        colour[node] = GREY
+        for successor in graph.get(node, ()):
+            if colour.get(successor, WHITE) == GREY:
+                return False
+            if colour.get(successor, WHITE) == WHITE and not visit(successor):
+                return False
+        colour[node] = BLACK
+        return True
+
+    return all(colour[node] != WHITE or visit(node) for node in list(graph))
+
+
+def analyze_pdms(pdms: PDMS) -> ComplexityReport:
+    """Classify the data complexity of query answering for ``pdms``."""
+    reasons: List[str] = []
+
+    inclusions = [m for m in pdms.peer_mappings() if isinstance(m, InclusionMapping)]
+    equalities = [m for m in pdms.peer_mappings() if isinstance(m, EqualityMapping)]
+    definitionals = [m for m in pdms.peer_mappings() if isinstance(m, DefinitionalMapping)]
+    storage = list(pdms.storage_descriptions())
+
+    inclusion_graph = build_inclusion_graph(pdms)
+    acyclic = is_acyclic(inclusion_graph)
+    if not acyclic and not equalities:
+        reasons.append("cyclic inclusion peer mappings (Definition 3.1 graph has a cycle)")
+        return ComplexityReport(
+            complexity=ComplexityClass.UNDECIDABLE,
+            theorem="Theorem 3.1(1)",
+            tractable=False,
+            algorithm_complete=False,
+            reasons=reasons,
+            inclusion_graph_acyclic=False,
+        )
+
+    # From here on the inclusion-only part is acyclic (equalities are
+    # analysed separately because they always create cycles by design).
+    projecting_equalities = [m for m in equalities if m.has_projection()]
+    projecting_equality_storage = [d for d in storage if d.exact and d.has_projection()]
+
+    definitional_heads = {m.head_predicate for m in definitionals}
+    heads_on_rhs: List[str] = []
+    for mapping in inclusions:
+        heads_on_rhs.extend(
+            head for head in definitional_heads if head in mapping.right_predicates()
+        )
+    for mapping in equalities:
+        heads_on_rhs.extend(
+            head
+            for head in definitional_heads
+            if head in mapping.right.predicates() or head in mapping.left.predicates()
+        )
+    for description in storage:
+        heads_on_rhs.extend(
+            head for head in definitional_heads if head in description.query.predicates()
+        )
+
+    comparison_in_peer_mappings = any(
+        m.has_comparisons() for m in inclusions + equalities
+    )
+    comparison_in_definitional = any(m.has_comparisons() for m in definitionals)
+    comparison_in_storage = any(d.has_comparisons() for d in storage)
+
+    if not acyclic:
+        reasons.append(
+            "equality peer mappings introduce cycles; analysed under Theorem 3.2"
+        )
+
+    if projecting_equalities:
+        reasons.append(
+            f"{len(projecting_equalities)} equality peer mapping(s) use projection"
+        )
+        return ComplexityReport(
+            complexity=ComplexityClass.UNDECIDABLE,
+            theorem="Theorem 3.1(1) (general equalities with projection)",
+            tractable=False,
+            algorithm_complete=False,
+            reasons=reasons,
+            inclusion_graph_acyclic=acyclic,
+        )
+
+    if projecting_equality_storage:
+        reasons.append(
+            f"{len(projecting_equality_storage)} equality storage description(s) "
+            "contain projections"
+        )
+        return ComplexityReport(
+            complexity=ComplexityClass.CONP_COMPLETE,
+            theorem="Theorem 3.2(2)",
+            tractable=False,
+            algorithm_complete=False,
+            reasons=reasons,
+            inclusion_graph_acyclic=acyclic,
+        )
+
+    if heads_on_rhs:
+        unique = sorted(set(heads_on_rhs))
+        reasons.append(
+            "definitional head predicate(s) appear on the right-hand side of other "
+            f"descriptions: {', '.join(unique)}"
+        )
+        return ComplexityReport(
+            complexity=ComplexityClass.CONP_COMPLETE,
+            theorem="Theorem 3.2(1) violated (definitional-head restriction)",
+            tractable=False,
+            algorithm_complete=False,
+            reasons=reasons,
+            inclusion_graph_acyclic=acyclic,
+        )
+
+    if comparison_in_peer_mappings:
+        reasons.append("comparison predicates appear in non-definitional peer mappings")
+        return ComplexityReport(
+            complexity=ComplexityClass.CONP_COMPLETE,
+            theorem="Theorem 3.3(2)",
+            tractable=False,
+            algorithm_complete=False,
+            reasons=reasons,
+            inclusion_graph_acyclic=acyclic,
+        )
+
+    if comparison_in_storage or comparison_in_definitional:
+        reasons.append(
+            "comparison predicates confined to storage descriptions / definitional bodies"
+        )
+        theorem = "Theorem 3.3(1)"
+    elif equalities:
+        reasons.append("projection-free equalities only")
+        theorem = "Theorem 3.2(1)"
+    else:
+        reasons.append("acyclic inclusion-only PDMS")
+        theorem = "Theorem 3.1(2)"
+
+    return ComplexityReport(
+        complexity=ComplexityClass.POLYNOMIAL,
+        theorem=theorem,
+        tractable=True,
+        algorithm_complete=True,
+        reasons=reasons,
+        inclusion_graph_acyclic=acyclic,
+    )

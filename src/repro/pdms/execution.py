@@ -1,0 +1,86 @@
+"""Execution of reformulated queries over the peers' stored relations.
+
+The paper leaves execution to an external (adaptive) query processor; for
+the reproduction we simply evaluate the union of conjunctive rewritings
+over an in-memory :class:`repro.database.instance.Instance` (or any fact
+source) holding the stored relations of all peers, using set semantics.
+A convenience helper assembles that combined instance from per-peer
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple, Union
+
+from ..database.instance import Instance
+from ..database.planner import evaluate_query_via_plan
+from ..datalog.evaluation import FactsLike, evaluate_query
+from ..datalog.queries import ConjunctiveQuery
+from ..errors import EvaluationError
+from .optimizations import ReformulationConfig
+from .reformulation import ReformulationResult, reformulate
+from .system import PDMS
+
+Row = Tuple[object, ...]
+
+#: Available execution engines for reformulated queries.
+ENGINES = ("backtracking", "plan")
+
+
+def combine_peer_instances(instances: Mapping[str, Instance]) -> Instance:
+    """Merge per-peer instances of stored relations into one instance.
+
+    Stored-relation names are globally unique in a well-formed PDMS, so
+    merging is a plain union; a clash with different arities raises.
+    """
+    combined = Instance()
+    for peer_name, instance in instances.items():
+        for relation in instance.relations():
+            for row in instance.get_tuples(relation):
+                combined.add(relation, row)
+    return combined
+
+
+def evaluate_reformulation(
+    result: ReformulationResult, data: FactsLike, engine: str = "backtracking"
+) -> Set[Row]:
+    """Evaluate every rewriting of ``result`` over ``data`` (set semantics).
+
+    Streaming evaluation: rewritings are evaluated as they are produced,
+    so answers from the first rewritings are found before the enumeration
+    completes.
+
+    ``engine`` selects the evaluation path: ``"backtracking"`` uses the
+    direct conjunctive-query evaluator, ``"plan"`` compiles each rewriting
+    to a relational-algebra plan first (the route a database system would
+    take); both return the same answers.
+    """
+    if engine not in ENGINES:
+        raise EvaluationError(f"unknown execution engine {engine!r}; choose from {ENGINES}")
+    evaluate = evaluate_query if engine == "backtracking" else evaluate_query_via_plan
+    answers: Set[Row] = set()
+    for rewriting in result.rewritings():
+        answers |= evaluate(rewriting, data)
+    return answers
+
+
+def answer_query(
+    pdms: PDMS,
+    query: ConjunctiveQuery,
+    data: Union[FactsLike, Mapping[str, Instance]],
+    config: Optional[ReformulationConfig] = None,
+    engine: str = "backtracking",
+) -> Set[Row]:
+    """Reformulate ``query`` and evaluate it over stored-relation data.
+
+    ``data`` is either a single fact source over stored relations, or a
+    mapping from peer name to that peer's :class:`Instance` (in which case
+    the instances are combined first).  ``engine`` is passed through to
+    :func:`evaluate_reformulation`.
+    """
+    if isinstance(data, Mapping) and data and all(
+        isinstance(value, Instance) for value in data.values()
+    ):
+        data = combine_peer_instances(data)  # type: ignore[arg-type]
+    result = reformulate(pdms, query, config=config)
+    return evaluate_reformulation(result, data, engine=engine)

@@ -1,0 +1,305 @@
+"""The PPL mapping language: storage descriptions and peer mappings.
+
+Section 2.1.2 of the paper defines two kinds of mappings:
+
+* **Storage descriptions** ``A:R = Q`` or ``A:R ⊆ Q`` relate a stored
+  relation ``R`` at peer ``A`` to a query ``Q`` over ``A``'s peer schema
+  (equality = closed world, containment = open world).
+
+* **Peer mappings** come in two flavours:
+
+  - *inclusion / equality mappings* ``Q1(A̅1) ⊆ Q2(A̅2)`` /
+    ``Q1(A̅1) = Q2(A̅2)`` between conjunctive queries of the same arity over
+    (sets of) peers — these subsume both LAV- and GAV-style mappings;
+  - *definitional mappings*: datalog rules whose head and body are peer
+    relations — kept separate because restricting equalities to be
+    definitional makes query answering tractable (Theorem 3.2) and because
+    several rules with the same head express disjunction.
+
+Every mapping carries a stable ``name`` used for provenance in the
+rule-goal tree and for the "do not reuse a description on the same path"
+termination rule of the reformulation algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.queries import ConjunctiveQuery, DatalogRule
+from ..datalog.terms import Variable
+from ..errors import MappingError
+
+_COUNTER = itertools.count()
+
+
+def _auto_name(prefix: str) -> str:
+    return f"{prefix}_{next(_COUNTER)}"
+
+
+def _peer_of(predicate: str) -> Optional[str]:
+    """Peer part of a qualified relation name, or ``None`` if unqualified."""
+    if ":" in predicate:
+        return predicate.partition(":")[0]
+    return None
+
+
+@dataclass(frozen=True)
+class StorageDescription:
+    """A storage description ``R = Q`` or ``R ⊆ Q``.
+
+    Parameters
+    ----------
+    peer:
+        Name of the peer storing ``relation``.
+    relation:
+        The stored relation name (unqualified).
+    query:
+        A conjunctive query over peer relations; its head arity must equal
+        the stored relation's arity and its head arguments name the
+        correspondence between stored columns and query variables.
+    exact:
+        ``True`` for equality (closed world), ``False`` for containment
+        (open world, the common case).
+    """
+
+    peer: str
+    relation: str
+    query: ConjunctiveQuery
+    exact: bool = False
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", _auto_name(f"store_{self.relation}"))
+        if ":" in self.relation:
+            raise MappingError(
+                f"stored relation names must be unqualified, got {self.relation!r}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Arity of the stored relation (the query head arity)."""
+        return self.query.arity
+
+    def stored_atom(self) -> Atom:
+        """The stored relation atom with the query's head arguments."""
+        return Atom(self.relation, self.query.head.args)
+
+    def references_peers(self) -> frozenset[str]:
+        """Peers whose relations appear in the description's query body."""
+        return frozenset(
+            p for p in (_peer_of(pred) for pred in self.query.predicates()) if p
+        )
+
+    def has_projection(self) -> bool:
+        """Does the defining query project away some body variable?"""
+        return self.query.has_projection()
+
+    def has_comparisons(self) -> bool:
+        """Does the defining query use comparison predicates?"""
+        return self.query.has_comparisons()
+
+    def __str__(self) -> str:
+        op = "=" if self.exact else "⊆"
+        body = ", ".join(str(a) for a in self.query.body)
+        return f"{self.relation}{tuple(str(a) for a in self.query.head.args)} {op} {body}"
+
+
+@dataclass(frozen=True)
+class InclusionMapping:
+    """An inclusion peer mapping ``Q1(A̅1) ⊆ Q2(A̅2)``.
+
+    ``left`` and ``right`` are conjunctive queries of identical arity; the
+    i-th head argument of ``left`` corresponds to the i-th head argument of
+    ``right``.  The mapping states that evaluating ``left`` always produces
+    a subset of evaluating ``right``.
+    """
+
+    left: ConjunctiveQuery
+    right: ConjunctiveQuery
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise MappingError(
+                f"inclusion mapping sides have different arities: "
+                f"{self.left.arity} vs {self.right.arity}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", _auto_name("incl"))
+
+    @property
+    def arity(self) -> int:
+        """Common head arity of both sides."""
+        return self.left.arity
+
+    def left_predicates(self) -> frozenset[str]:
+        """Relations used on the left-hand side."""
+        return self.left.predicates()
+
+    def right_predicates(self) -> frozenset[str]:
+        """Relations used on the right-hand side."""
+        return self.right.predicates()
+
+    def references_peers(self) -> frozenset[str]:
+        """Peers referenced on either side."""
+        peers = set()
+        for predicate in self.left_predicates() | self.right_predicates():
+            peer = _peer_of(predicate)
+            if peer:
+                peers.add(peer)
+        return frozenset(peers)
+
+    def left_is_single_atom(self) -> bool:
+        """Is the left-hand side a single relational atom with the head's arguments?
+
+        This is the common LAV shape (``LH:CritBed(...) ⊆ H:CritBed(...),
+        H:Patient(...)``) for which no auxiliary predicate is needed during
+        normalisation.
+        """
+        body = self.left.relational_body()
+        return (
+            len(self.left.body) == 1
+            and len(body) == 1
+            and body[0].args == self.left.head.args
+        )
+
+    def has_projection(self) -> bool:
+        """Does either side project away body variables?"""
+        return self.left.has_projection() or self.right.has_projection()
+
+    def has_comparisons(self) -> bool:
+        """Does either side use comparison predicates?"""
+        return self.left.has_comparisons() or self.right.has_comparisons()
+
+    def __str__(self) -> str:
+        left_body = ", ".join(str(a) for a in self.left.body)
+        right_body = ", ".join(str(a) for a in self.right.body)
+        return f"[{left_body}] ⊆ [{right_body}]"
+
+
+@dataclass(frozen=True)
+class EqualityMapping:
+    """An equality peer mapping ``Q1(A̅1) = Q2(A̅2)``.
+
+    Semantically equivalent to the pair of inclusions in both directions
+    (which is how the reformulation algorithm uses it — Step 1), but kept
+    distinct because the complexity results treat equalities specially
+    (they automatically create cycles; Theorem 3.2).
+    """
+
+    left: ConjunctiveQuery
+    right: ConjunctiveQuery
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise MappingError(
+                f"equality mapping sides have different arities: "
+                f"{self.left.arity} vs {self.right.arity}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", _auto_name("eq"))
+
+    def as_inclusions(self) -> Tuple[InclusionMapping, InclusionMapping]:
+        """The two inclusion mappings this equality stands for."""
+        return (
+            InclusionMapping(self.left, self.right, name=f"{self.name}__fwd"),
+            InclusionMapping(self.right, self.left, name=f"{self.name}__bwd"),
+        )
+
+    def references_peers(self) -> frozenset[str]:
+        """Peers referenced on either side."""
+        forward, _ = self.as_inclusions()
+        return forward.references_peers()
+
+    def has_projection(self) -> bool:
+        """Does either side project away body variables?
+
+        Theorem 3.2 requires equality descriptions to be projection-free
+        for tractability.
+        """
+        return self.left.has_projection() or self.right.has_projection()
+
+    def has_comparisons(self) -> bool:
+        """Does either side use comparison predicates?"""
+        return self.left.has_comparisons() or self.right.has_comparisons()
+
+    def __str__(self) -> str:
+        left_body = ", ".join(str(a) for a in self.left.body)
+        right_body = ", ".join(str(a) for a in self.right.body)
+        return f"[{left_body}] = [{right_body}]"
+
+
+@dataclass(frozen=True)
+class DefinitionalMapping:
+    """A definitional (datalog-style, GAV-like) peer mapping.
+
+    The rule's head is a peer relation; its body mentions peer relations
+    (of the same or other peers).  Several definitional mappings with the
+    same head predicate express a union (disjunction).
+    """
+
+    rule: DatalogRule
+    name: str = field(default="")
+
+    def __init__(self, rule: ConjunctiveQuery, name: str = ""):
+        converted = rule if isinstance(rule, DatalogRule) else DatalogRule(rule.head, rule.body)
+        object.__setattr__(self, "rule", converted)
+        object.__setattr__(self, "name", name or _auto_name("def"))
+
+    @property
+    def head_predicate(self) -> str:
+        """The defined peer relation."""
+        return self.rule.name
+
+    def body_predicates(self) -> frozenset[str]:
+        """Relations used in the rule body."""
+        return self.rule.predicates()
+
+    def references_peers(self) -> frozenset[str]:
+        """Peers referenced by the head or body."""
+        peers = set()
+        for predicate in {self.rule.name} | self.body_predicates():
+            peer = _peer_of(predicate)
+            if peer:
+                peers.add(peer)
+        return frozenset(peers)
+
+    def has_comparisons(self) -> bool:
+        """Does the rule body use comparison predicates?"""
+        return self.rule.has_comparisons()
+
+    def __str__(self) -> str:
+        return str(self.rule)
+
+
+#: Union type of the three peer-mapping flavours.
+PeerMapping = (InclusionMapping, EqualityMapping, DefinitionalMapping)
+
+
+def lav_style(atom: Atom, right: ConjunctiveQuery, name: str = "") -> InclusionMapping:
+    """Convenience constructor for the common LAV shape ``atom ⊆ Q2``.
+
+    Builds the left-hand side as the identity query over ``atom`` (its head
+    equals its single body atom), matching the paper's Example 2.2 LAV
+    mappings.
+    """
+    left = ConjunctiveQuery(atom, [atom])
+    return InclusionMapping(left, right, name=name)
+
+
+def replication(left_atom: Atom, right_atom: Atom, name: str = "") -> EqualityMapping:
+    """Convenience constructor for projection-free replication equalities.
+
+    Mirrors the paper's Section 3 example
+    ``ECC:vehicle(vid,t,c,g,d) = 9DC:vehicle(vid,t,c,g,d)``.
+    """
+    if left_atom.arity != right_atom.arity:
+        raise MappingError("replication requires atoms of the same arity")
+    left = ConjunctiveQuery(left_atom, [left_atom])
+    right = ConjunctiveQuery(right_atom, [right_atom])
+    return EqualityMapping(left, right, name=name)

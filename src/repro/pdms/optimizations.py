@@ -1,0 +1,82 @@
+"""Configuration of the reformulation algorithm's optimizations.
+
+Section 4.3 of the paper sketches several optimizations for rule-goal-tree
+construction; this module turns each of them into an explicit, individually
+switchable knob so the ablation benchmarks can quantify their effect:
+
+* **dead-end detection** — precompute which predicates can possibly reach
+  stored relations ("productive" predicates); expansions introducing goals
+  that can neither reach stored data nor be covered by a sibling are
+  pruned;
+* **unsatisfiable-label pruning** — never expand a node whose constraint
+  label is unsatisfiable;
+* **MCD memoization** — cache MCD computations per (description, goal
+  pattern, sibling pattern) so repeated sub-problems (very common in the
+  generated workloads, where many peers share mapping shapes) are not
+  recomputed;
+* **goal-ordering priority** — expand goal nodes most likely to prune
+  first (fewest applicable descriptions first), or breadth-/depth-first;
+* **first-rewritings streaming** — Step 3 is a generator, so callers can
+  stop after the first k rewritings (Figure 4 measures exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class ExpansionOrder(str, Enum):
+    """Order in which leaf goal nodes are expanded during tree construction."""
+
+    BREADTH_FIRST = "breadth-first"
+    DEPTH_FIRST = "depth-first"
+    FEWEST_OPTIONS_FIRST = "fewest-options-first"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ReformulationConfig:
+    """Tunable parameters of :func:`repro.pdms.reformulation.reformulate`.
+
+    The defaults enable every optimization; the ablation benchmarks switch
+    them off one at a time.
+    """
+
+    #: Prune expansions that introduce goals provably unable to reach stored data.
+    prune_dead_ends: bool = True
+    #: Prune nodes whose constraint label is unsatisfiable.
+    prune_unsatisfiable: bool = True
+    #: Cache MCD construction across structurally identical expansion requests.
+    memoize_mcds: bool = True
+    #: Drop conjunctive rewritings subsumed by previously emitted ones.
+    remove_redundant_rewritings: bool = False
+    #: Minimize each emitted conjunctive rewriting (drop redundant atoms).
+    minimize_rewritings: bool = False
+    #: Order in which leaves are expanded.
+    expansion_order: ExpansionOrder = ExpansionOrder.BREADTH_FIRST
+    #: Hard cap on the number of nodes in the tree (safety net for
+    #: adversarial inputs; ``None`` means unbounded).
+    max_nodes: Optional[int] = None
+    #: Hard cap on goal-node depth (``None`` means bounded only by the
+    #: no-reuse termination rule).
+    max_depth: Optional[int] = None
+
+    def without_optimizations(self) -> "ReformulationConfig":
+        """A copy of this configuration with every optimization disabled."""
+        return ReformulationConfig(
+            prune_dead_ends=False,
+            prune_unsatisfiable=False,
+            memoize_mcds=False,
+            remove_redundant_rewritings=False,
+            minimize_rewritings=False,
+            expansion_order=self.expansion_order,
+            max_nodes=self.max_nodes,
+            max_depth=self.max_depth,
+        )
+
+
+DEFAULT_CONFIG = ReformulationConfig()

@@ -1,0 +1,821 @@
+"""The query reformulation algorithm for PPL (Section 4 of the paper).
+
+Given a PDMS and a conjunctive query over one peer's schema, the algorithm
+produces a union of conjunctive queries that refer only to *stored*
+relations, by building a rule-goal tree that interleaves
+
+* **definitional expansion** (GAV-style view unfolding): a goal node whose
+  predicate is the head of a definitional description is expanded with the
+  rule's body, and
+* **inclusion expansion** (LAV-style answering-queries-using-views): a goal
+  node whose predicate appears on the right-hand side of an inclusion or
+  storage description ``V ⊆ Q`` is reformulated to use ``V``; a MiniCon
+  description (MCD) determines which sibling subgoals the ``V`` atom also
+  covers, recorded in the rule node's ``unc``/``covers`` label.
+
+Termination follows the paper's rule: a peer description is never reused
+on the path from the root to the node being expanded, which bounds the
+tree even for cyclic PDMSs.  Step 3 assembles rewritings by choosing one
+expansion per goal node and, at each rule node, a subset of children whose
+coverage includes all children; it is implemented as a generator so the
+first rewritings stream out before the enumeration finishes (the paper's
+Figure 4 measures time-to-first/tenth/all rewritings).
+
+Soundness/completeness: evaluating the output only yields certain answers,
+and under the tractable conditions of Theorems 3.2/3.3 it yields all of
+them; ``tests/integration`` cross-checks this against the chase-based
+oracle in :mod:`repro.pdms.semantics`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom, ComparisonAtom
+from ..datalog.constraints import ConstraintSet
+from ..datalog.containment import remove_redundant_disjuncts
+from ..datalog.minimize import minimize as minimize_query
+from ..datalog.queries import ConjunctiveQuery, UnionQuery
+from ..datalog.terms import FreshVariableFactory, Term, Variable, is_variable
+from ..datalog.unify import (
+    apply_substitution_body,
+    apply_substitution_term,
+    unify_atoms,
+)
+from ..errors import ReformulationError
+from ..integration.minicon import MCD, create_mcds
+from .optimizations import DEFAULT_CONFIG, ExpansionOrder, ReformulationConfig
+from .rule_goal_tree import GoalNode, RuleGoalTree, RuleNode, TreeStatistics
+from .system import PDMS, NormalizedCatalogue, NormalizedInclusion, NormalizedRule
+
+_QUERY_ORIGIN = "__query__"
+_CONTEXT_PREDICATE = "__ctx__"
+
+
+# ---------------------------------------------------------------------------
+# Lazy sequences: cache generator output so shared subtrees are enumerated once
+# ---------------------------------------------------------------------------
+
+class _LazySeq:
+    """A re-iterable view over a generator that caches produced items."""
+
+    __slots__ = ("_iterator", "_cache", "_done")
+
+    def __init__(self, iterator: Iterator):
+        self._iterator = iterator
+        self._cache: List = []
+        self._done = False
+
+    def __iter__(self):
+        index = 0
+        while True:
+            if index < len(self._cache):
+                yield self._cache[index]
+                index += 1
+                continue
+            if self._done:
+                return
+            try:
+                item = next(self._iterator)
+            except StopIteration:
+                self._done = True
+                return
+            self._cache.append(item)
+            index += 1
+            yield item
+
+
+# ---------------------------------------------------------------------------
+# Productive-predicate analysis (dead-end detection, Section 4.3)
+# ---------------------------------------------------------------------------
+
+def compute_productive_predicates(catalogue: NormalizedCatalogue) -> frozenset:
+    """Predicates from which the reformulation can possibly reach stored data.
+
+    A predicate is *productive* if it is a stored relation, if some
+    definitional rule for it has an all-productive body, or if it occurs
+    on the right-hand side of an inclusion description whose left-hand
+    side predicate is productive.  Goal nodes over non-productive
+    predicates that also cannot be covered by a sibling (they appear on no
+    inclusion right-hand side) are dead ends.
+    """
+    productive: Set[str] = set(catalogue.stored_relations)
+    changed = True
+    while changed:
+        changed = False
+        for rule in catalogue.rules:
+            if rule.head_predicate in productive:
+                continue
+            body_predicates = rule.rule.predicates()
+            if body_predicates and all(p in productive for p in body_predicates):
+                productive.add(rule.head_predicate)
+                changed = True
+        for inclusion in catalogue.inclusions:
+            if inclusion.head_predicate not in productive:
+                continue
+            for predicate in inclusion.body_predicates():
+                if predicate not in productive:
+                    productive.add(predicate)
+                    changed = True
+    return frozenset(productive)
+
+
+# ---------------------------------------------------------------------------
+# Reformulation result
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReformulationResult:
+    """Everything produced by one reformulation run.
+
+    Use :meth:`rewritings` to stream conjunctive rewritings (each refers
+    only to stored relations), :meth:`union` for the full union of
+    conjunctive queries, and ``tree.statistics`` for the node counts the
+    paper's Figure 3 reports.
+    """
+
+    query: ConjunctiveQuery
+    tree: RuleGoalTree
+    config: ReformulationConfig
+    _assembler: "_RewritingAssembler" = field(repr=False, default=None)
+    _all: Optional[List[ConjunctiveQuery]] = field(default=None, repr=False)
+
+    def rewritings(self) -> Iterator[ConjunctiveQuery]:
+        """Stream the conjunctive rewritings (may contain subsumed duplicates
+        unless ``config.remove_redundant_rewritings`` is set)."""
+        if self._all is not None:
+            yield from self._all
+            return
+        yield from self._assembler.rewritings()
+
+    def first_rewritings(self, count: int) -> List[ConjunctiveQuery]:
+        """The first ``count`` rewritings (fewer if the enumeration is smaller)."""
+        return list(itertools.islice(self.rewritings(), count))
+
+    def all_rewritings(self) -> List[ConjunctiveQuery]:
+        """All conjunctive rewritings, materialised and cached."""
+        if self._all is None:
+            rewritings = list(self._assembler.rewritings())
+            if self.config.remove_redundant_rewritings:
+                rewritings = remove_redundant_disjuncts(rewritings)
+            self._all = rewritings
+        return self._all
+
+    def union(self) -> UnionQuery:
+        """The reformulated query: a union of CQs over stored relations."""
+        return UnionQuery(
+            self.all_rewritings(), name=self.query.name, arity=self.query.arity
+        )
+
+    @property
+    def statistics(self) -> TreeStatistics:
+        """Node statistics of the rule-goal tree."""
+        return self.tree.statistics
+
+
+# ---------------------------------------------------------------------------
+# Tree construction (Step 2)
+# ---------------------------------------------------------------------------
+
+class _TreeBuilder:
+    """Builds the rule-goal tree for one query."""
+
+    def __init__(self, pdms: PDMS, query: ConjunctiveQuery, config: ReformulationConfig):
+        self._pdms = pdms
+        self._query = query
+        self._config = config
+        self._catalogue = pdms.catalogue()
+        self._fresh = FreshVariableFactory(prefix="_r")
+        self._fresh.reserve(v.name for v in query.all_variables())
+        self._productive: Optional[frozenset] = None
+        if config.prune_dead_ends:
+            self._productive = compute_productive_predicates(self._catalogue)
+        self._coverable = frozenset(self._catalogue.inclusions_by_body_predicate)
+        self._mcd_cache: Dict[tuple, List[MCD]] = {}
+        self._stats = TreeStatistics()
+        self._node_budget = config.max_nodes
+
+    # -- public ------------------------------------------------------------------
+
+    def build(self) -> RuleGoalTree:
+        root = GoalNode(
+            self._query.head,
+            constraint=ConstraintSet(self._query.comparison_body()),
+            parent=None,
+            blocked=frozenset(),
+            is_stored=False,
+            depth=0,
+            external=frozenset(self._query.head.variables()),
+        )
+        self._count_goal(root)
+        tree = RuleGoalTree(root)
+
+        query_rule = RuleNode(
+            RuleNode.KIND_QUERY,
+            description=self._query,
+            origin=_QUERY_ORIGIN,
+            parent=root,
+            constraint=ConstraintSet(self._query.comparison_body()),
+        )
+        root.add_child(query_rule)
+        self._count_rule()
+
+        body_atoms = self._query.relational_body()
+        frontier: deque = deque()
+        for atom in body_atoms:
+            other_vars: Set[Variable] = set()
+            for other in body_atoms:
+                if other is not atom:
+                    other_vars |= other.variable_set()
+            child = self._make_goal(
+                atom,
+                parent=query_rule,
+                blocked=frozenset(),
+                constraint=query_rule.constraint.project(atom.variable_set()),
+                depth=1,
+                external=frozenset(
+                    atom.variable_set() & (root.external | other_vars)
+                ),
+            )
+            query_rule.add_child(child)
+            if not child.is_stored:
+                frontier.append(child)
+
+        self._expand_all(frontier)
+        tree.statistics = self._stats
+        tree.count_nodes()
+        return tree
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _count_goal(self, goal: GoalNode) -> None:
+        self._stats.goal_nodes += 1
+        if self._node_budget is not None and self._stats.total_nodes > self._node_budget:
+            raise ReformulationError(
+                f"rule-goal tree exceeded the configured maximum of "
+                f"{self._node_budget} nodes"
+            )
+
+    def _count_rule(self) -> None:
+        self._stats.rule_nodes += 1
+        if self._node_budget is not None and self._stats.total_nodes > self._node_budget:
+            raise ReformulationError(
+                f"rule-goal tree exceeded the configured maximum of "
+                f"{self._node_budget} nodes"
+            )
+
+    def _make_goal(
+        self,
+        atom: Atom,
+        parent: RuleNode,
+        blocked: frozenset,
+        constraint: ConstraintSet,
+        depth: int,
+        external: frozenset,
+    ) -> GoalNode:
+        goal = GoalNode(
+            atom,
+            constraint=constraint,
+            parent=parent,
+            blocked=blocked,
+            is_stored=self._catalogue.is_stored(atom.predicate),
+            depth=depth,
+            external=external,
+        )
+        self._count_goal(goal)
+        return goal
+
+    def _outside_vars(self, goal: GoalNode) -> Set[Variable]:
+        """Variables visible outside the sibling group of ``goal``.
+
+        For children of the query rule or of definitional rule nodes this
+        is the ``external`` set of the rule's parent goal (the only
+        interface between the rule body and the rest of the tree); for the
+        single child of an inclusion rule node it is the child's own
+        ``external`` set, which was computed from the covered siblings
+        when the node was created.
+        """
+        parent_rule = goal.parent
+        if parent_rule is None:
+            return set(self._query.head.variables())
+        if parent_rule.kind == RuleNode.KIND_INCLUSION:
+            return set(goal.external)
+        return set(parent_rule.parent.external)
+
+    # -- frontier management -------------------------------------------------------
+
+    def _expand_all(self, frontier: deque) -> None:
+        order = self._config.expansion_order
+        while frontier:
+            if order is ExpansionOrder.BREADTH_FIRST:
+                goal = frontier.popleft()
+            elif order is ExpansionOrder.DEPTH_FIRST:
+                goal = frontier.pop()
+            else:  # FEWEST_OPTIONS_FIRST: cheap heuristic on applicable descriptions
+                best_index = min(
+                    range(len(frontier)), key=lambda i: self._option_count(frontier[i])
+                )
+                goal = frontier[best_index]
+                del frontier[best_index]
+            if goal.expanded or goal.is_stored:
+                continue
+            if self._config.max_depth is not None and goal.depth >= self._config.max_depth:
+                goal.expanded = True
+                continue
+            for child in self._expand(goal):
+                if not child.is_stored and not child.expanded:
+                    frontier.append(child)
+
+    def _option_count(self, goal: GoalNode) -> int:
+        predicate = goal.label.predicate
+        return len(self._catalogue.definitional_for(predicate)) + len(
+            self._catalogue.inclusions_mentioning(predicate)
+        )
+
+    # -- expansion ---------------------------------------------------------------
+
+    def _expand(self, goal: GoalNode) -> List[GoalNode]:
+        """Perform every possible expansion of ``goal``; return new goal nodes."""
+        goal.expanded = True
+        if self._config.prune_unsatisfiable and not goal.constraint.is_satisfiable():
+            self._stats.pruned_unsatisfiable += 1
+            return []
+        new_children: List[GoalNode] = []
+        new_children.extend(self._definitional_expansions(goal))
+        new_children.extend(self._inclusion_expansions(goal))
+        return new_children
+
+    # .. definitional (GAV-style) ..................................................
+
+    def _definitional_expansions(self, goal: GoalNode) -> List[GoalNode]:
+        predicate = goal.label.predicate
+        produced: List[GoalNode] = []
+        for normalized in self._catalogue.definitional_for(predicate):
+            if not normalized.synthetic and normalized.origin in goal.blocked:
+                continue
+            renamed = normalized.rule.rename_apart(self._fresh)
+            unifier = unify_atoms(renamed.head, goal.label)
+            if unifier is None:
+                continue
+            body = apply_substitution_body(renamed.body, unifier)
+            relational = [a for a in body if isinstance(a, Atom)]
+            comparisons = [a for a in body if isinstance(a, ComparisonAtom)]
+            # Unification may bind variables of the goal's label itself
+            # (e.g. unifying ``SkilledPerson(pid, skill)`` with the head
+            # ``SkilledPerson(sid, "Doctor")`` binds skill = "Doctor").
+            # Those bindings restrict when this expansion applies and are
+            # carried as equality constraints so rewritings enforce them.
+            bindings = [
+                ComparisonAtom(variable, "=", resolved)
+                for variable in goal.label.variable_set()
+                for resolved in [apply_substitution_term(variable, unifier)]
+                if resolved != variable
+            ]
+            rule_constraint = goal.constraint.conjoin(comparisons).conjoin(bindings)
+            if self._config.prune_unsatisfiable and not rule_constraint.is_satisfiable():
+                self._stats.pruned_unsatisfiable += 1
+                continue
+            if self._config.prune_dead_ends and self._rule_is_dead_end(relational):
+                self._stats.pruned_dead_end += 1
+                continue
+            rule_node = RuleNode(
+                RuleNode.KIND_DEFINITIONAL,
+                description=normalized,
+                origin=normalized.origin,
+                parent=goal,
+                constraint=rule_constraint,
+            )
+            goal.add_child(rule_node)
+            self._count_rule()
+            blocked = goal.blocked
+            if not normalized.synthetic:
+                blocked = blocked | {normalized.origin}
+            for atom in relational:
+                other_vars: Set[Variable] = set()
+                for other in relational:
+                    if other is not atom:
+                        other_vars |= other.variable_set()
+                child = self._make_goal(
+                    atom,
+                    parent=rule_node,
+                    blocked=blocked,
+                    constraint=rule_constraint.project(atom.variable_set()),
+                    depth=goal.depth + 1,
+                    external=frozenset(
+                        atom.variable_set() & (set(goal.external) | other_vars)
+                    ),
+                )
+                rule_node.add_child(child)
+                produced.append(child)
+        return produced
+
+    def _rule_is_dead_end(self, body: Sequence[Atom]) -> bool:
+        """A definitional expansion is useless if some body goal can neither
+        reach stored data nor be covered by a sibling's inclusion expansion."""
+        assert self._productive is not None
+        for atom in body:
+            predicate = atom.predicate
+            if predicate in self._productive:
+                continue
+            if predicate in self._coverable:
+                continue
+            return True
+        return False
+
+    # .. inclusion (LAV-style) ......................................................
+
+    def _inclusion_expansions(self, goal: GoalNode) -> List[GoalNode]:
+        predicate = goal.label.predicate
+        applicable = self._catalogue.inclusions_mentioning(predicate)
+        if not applicable:
+            return []
+
+        siblings = goal.siblings()
+        sibling_atoms = [s.label for s in siblings]
+        my_index = siblings.index(goal)
+        sibling_vars: Set[Variable] = set()
+        for atom in sibling_atoms:
+            sibling_vars |= atom.variable_set()
+        outside = self._outside_vars(goal)
+        exported = sorted(outside & sibling_vars)
+        pseudo_query = ConjunctiveQuery(
+            Atom(_CONTEXT_PREDICATE, exported), sibling_atoms
+        )
+
+        produced: List[GoalNode] = []
+        for inclusion in applicable:
+            if inclusion.origin in goal.blocked:
+                continue
+            mcds = self._mcds_for(pseudo_query, inclusion, my_index)
+            for mcd in mcds:
+                covered_nodes = frozenset(siblings[i] for i in mcd.covered)
+                covered_constraint = goal.constraint
+                for node in covered_nodes:
+                    if node is not goal:
+                        covered_constraint = covered_constraint.conjoin(node.constraint)
+                # Equalities induced by the MCD must be enforced by the
+                # rewriting; the view's own comparison atoms are implied by
+                # the view's contents, so they only participate in the
+                # satisfiability check, not in the output constraint.
+                rule_constraint = covered_constraint.conjoin(mcd.equalities)
+                view_comparisons = inclusion.view.definition.comparison_body()
+                if self._config.prune_unsatisfiable and not rule_constraint.conjoin(
+                    view_comparisons
+                ).is_satisfiable():
+                    self._stats.pruned_unsatisfiable += 1
+                    continue
+                rule_node = RuleNode(
+                    RuleNode.KIND_INCLUSION,
+                    description=inclusion,
+                    origin=inclusion.origin,
+                    parent=goal,
+                    constraint=rule_constraint,
+                    covers=covered_nodes,
+                )
+                goal.add_child(rule_node)
+                self._count_rule()
+                uncovered_vars: Set[Variable] = set()
+                for sibling in siblings:
+                    if sibling not in covered_nodes:
+                        uncovered_vars |= sibling.label.variable_set()
+                child = self._make_goal(
+                    mcd.view_atom,
+                    parent=rule_node,
+                    blocked=goal.blocked | {inclusion.origin},
+                    constraint=rule_constraint.project(mcd.view_atom.variable_set()),
+                    depth=goal.depth + 1,
+                    external=frozenset(
+                        mcd.view_atom.variable_set() & (outside | uncovered_vars)
+                    ),
+                )
+                rule_node.add_child(child)
+                produced.append(child)
+        return produced
+
+    def _mcds_for(
+        self,
+        pseudo_query: ConjunctiveQuery,
+        inclusion: NormalizedInclusion,
+        my_index: int,
+    ) -> List[MCD]:
+        if not self._config.memoize_mcds:
+            return create_mcds(
+                pseudo_query, inclusion.view, self._fresh, only_subgoal=my_index
+            )
+        key, canonical_query, inverse = self._canonicalise(pseudo_query, my_index, inclusion)
+        cached = self._mcd_cache.get(key)
+        if cached is None:
+            cached = create_mcds(
+                canonical_query,
+                inclusion.view,
+                FreshVariableFactory(prefix="_c"),
+                only_subgoal=my_index,
+            )
+            self._mcd_cache[key] = cached
+        else:
+            self._stats.memoization_hits += 1
+        # Translate the canonical MCDs back to the actual variable names.
+        translated: List[MCD] = []
+        for mcd in cached:
+            fresh_map: Dict[Variable, Variable] = {}
+
+            def back(term: Term) -> Term:
+                if not is_variable(term):
+                    return term
+                if term in inverse:
+                    return inverse[term]
+                if term not in fresh_map:
+                    fresh_map[term] = self._fresh("_mv")
+                return fresh_map[term]
+
+            args = [back(arg) for arg in mcd.view_atom.args]
+            equalities = tuple(
+                ComparisonAtom(back(eq.left), eq.op, back(eq.right))
+                for eq in mcd.equalities
+            )
+            translated.append(
+                MCD(
+                    view=mcd.view,
+                    view_atom=Atom(mcd.view_atom.predicate, args),
+                    covered=mcd.covered,
+                    created_for=mcd.created_for,
+                    equalities=equalities,
+                )
+            )
+        return translated
+
+    def _canonicalise(
+        self,
+        pseudo_query: ConjunctiveQuery,
+        my_index: int,
+        inclusion: NormalizedInclusion,
+    ) -> Tuple[tuple, ConjunctiveQuery, Dict[Variable, Variable]]:
+        """Rename the pseudo-query's variables to positional names.
+
+        Returns a hashable cache key, the canonical query, and the inverse
+        renaming used to translate cached MCDs back.
+        """
+        mapping: Dict[Variable, Variable] = {}
+        inverse: Dict[Variable, Variable] = {}
+
+        def canon(term: Term) -> Term:
+            if not is_variable(term):
+                return term
+            if term not in mapping:
+                canonical = Variable(f"_x{len(mapping)}")
+                mapping[term] = canonical
+                inverse[canonical] = term
+            return mapping[term]
+
+        head_args = [canon(a) for a in pseudo_query.head.args]
+        body = [
+            Atom(atom.predicate, [canon(a) for a in atom.args])
+            for atom in pseudo_query.relational_body()
+        ]
+        canonical_query = ConjunctiveQuery(Atom(_CONTEXT_PREDICATE, head_args), body)
+        key = (
+            inclusion.origin,
+            inclusion.view.name,
+            my_index,
+            str(canonical_query.head),
+            tuple(str(a) for a in body),
+        )
+        return key, canonical_query, inverse
+
+
+# ---------------------------------------------------------------------------
+# Rewriting assembly (Step 3)
+# ---------------------------------------------------------------------------
+
+class _RewritingAssembler:
+    """Assembles conjunctive rewritings from a built rule-goal tree."""
+
+    def __init__(
+        self, query: ConjunctiveQuery, tree: RuleGoalTree, config: ReformulationConfig
+    ):
+        self._query = query
+        self._tree = tree
+        self._config = config
+        self._rule_cache: Dict[int, _LazySeq] = {}
+
+    # -- public -------------------------------------------------------------------
+
+    def rewritings(self) -> Iterator[ConjunctiveQuery]:
+        root = self._tree.root
+        emitted = set()
+        for rule_node in root.children:
+            for atoms, constraint in self._rule_rewritings(rule_node):
+                rewriting = self._finalise(atoms, constraint)
+                if rewriting is None:
+                    continue
+                key = (frozenset(map(str, rewriting.body)), str(rewriting.head))
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield rewriting
+
+    # -- assembly ------------------------------------------------------------------
+
+    def _goal_options(self, goal: GoalNode) -> List[Tuple[frozenset, object]]:
+        """Ways to *use* a goal node: (coverage set, source).
+
+        ``source`` is ``None`` for stored leaves (the leaf atom itself is
+        the rewriting) or a rule node to descend through.  Coverage is the
+        set of sibling goal nodes satisfied by that choice.
+        """
+        if goal.is_stored:
+            return [(frozenset([goal]), None)]
+        options: List[Tuple[frozenset, object]] = []
+        for rule_node in goal.children:
+            if rule_node.kind == RuleNode.KIND_INCLUSION:
+                coverage = rule_node.covers | {goal}
+            else:
+                coverage = frozenset([goal])
+            options.append((coverage, rule_node))
+        return options
+
+    def _rule_rewritings(self, rule_node: RuleNode) -> Iterable:
+        cached = self._rule_cache.get(rule_node.id)
+        if cached is None:
+            cached = _LazySeq(self._rule_rewritings_iter(rule_node))
+            self._rule_cache[rule_node.id] = cached
+        return cached
+
+    def _rule_rewritings_iter(
+        self, rule_node: RuleNode
+    ) -> Iterator[Tuple[Tuple[Atom, ...], ConstraintSet]]:
+        children = rule_node.children
+        if not children:
+            # A rule node with no children (can happen for definitional rules
+            # whose body is pure comparisons) contributes no atoms.
+            yield ((), rule_node.constraint)
+            return
+
+        options_per_child = {child.id: self._goal_options(child) for child in children}
+        all_children = list(children)
+
+        def cover(
+            remaining: frozenset,
+            used: frozenset,
+            atoms: Tuple[Atom, ...],
+            constraint: ConstraintSet,
+        ) -> Iterator[Tuple[Tuple[Atom, ...], ConstraintSet]]:
+            if not remaining:
+                yield atoms, constraint
+                return
+            # Deterministically attack the first uncovered child.
+            target = min(remaining, key=lambda g: g.id)
+            for child in all_children:
+                if child.id in used:
+                    continue
+                for coverage, source in options_per_child[child.id]:
+                    if target not in coverage:
+                        continue
+                    if source is None:
+                        sub_results: Iterable = [((child.label,), child.constraint)]
+                    else:
+                        sub_results = self._rule_rewritings(source)
+                    for sub_atoms, sub_constraint in sub_results:
+                        merged = constraint.conjoin(sub_constraint)
+                        yield from cover(
+                            remaining - coverage,
+                            used | {child.id},
+                            atoms + sub_atoms,
+                            merged,
+                        )
+
+        yield from cover(
+            frozenset(children), frozenset(), (), rule_node.constraint
+        )
+
+    # -- finalisation -----------------------------------------------------------------
+
+    def _finalise(
+        self, atoms: Tuple[Atom, ...], constraint: ConstraintSet
+    ) -> Optional[ConjunctiveQuery]:
+        if not atoms:
+            return None
+        # Discard rewritings whose accumulated constraints are contradictory
+        # (the paper: "If the resulting conjunctive query is unsatisfiable,
+        # we discard it").  This is a correctness matter, not an optimization,
+        # so it does not depend on the configuration.
+        if not constraint.is_satisfiable():
+            return None
+
+        # Turn accumulated equality constraints into a substitution, so that
+        # bindings forced by the mappings (``skill = "Doctor"`` from a
+        # definitional head, ``f1 = f2`` from an MCD) flow into the head and
+        # body instead of dangling as comparisons over missing variables.
+        substitution, residual = self._equalities_to_substitution(constraint)
+        if substitution is None:
+            return None
+        head = self._query.head.substitute(substitution)
+        grounded_atoms = [atom.substitute(substitution) for atom in atoms]
+
+        available: Set[Variable] = set()
+        for atom in grounded_atoms:
+            available.update(atom.variable_set())
+        if not all(v in available for v in head.variables()):
+            return None
+        body: List = list(dict.fromkeys(grounded_atoms))
+        for comparison in residual:
+            comparison = comparison.substitute(substitution)
+            if comparison.is_ground():
+                if not comparison.evaluate_ground():
+                    return None
+                continue
+            if not all(v in available for v in comparison.variables()):
+                # A required comparison that the chosen stored atoms cannot
+                # express would make the rewriting unsound; discard it.
+                return None
+            body.append(comparison)
+        rewriting = ConjunctiveQuery(head, body)
+        if self._config.minimize_rewritings:
+            rewriting = minimize_query(rewriting)
+        return rewriting
+
+    def _equalities_to_substitution(
+        self, constraint: ConstraintSet
+    ) -> Tuple[Optional[Dict[Variable, Term]], List[ComparisonAtom]]:
+        """Resolve the equality atoms of ``constraint`` into a substitution.
+
+        Returns ``(substitution, residual)`` where ``residual`` holds the
+        non-equality comparisons; returns ``(None, [])`` if the equalities
+        are contradictory (two different constants forced equal), which
+        should already have been caught by the satisfiability check.
+        """
+        head_vars = set(self._query.head_variables())
+        substitution: Dict[Variable, Term] = {}
+        residual: List[ComparisonAtom] = []
+
+        def resolve(term: Term) -> Term:
+            return apply_substitution_term(term, substitution)
+
+        for comparison in constraint:
+            if comparison.op != "=":
+                residual.append(comparison)
+                continue
+            left = resolve(comparison.left)
+            right = resolve(comparison.right)
+            if left == right:
+                continue
+            left_is_var = is_variable(left)
+            right_is_var = is_variable(right)
+            if left_is_var and right_is_var:
+                # Prefer eliminating the variable that is not a query head
+                # variable so the rewriting's head keeps its original names.
+                if left in head_vars and right not in head_vars:
+                    substitution[right] = left  # type: ignore[index]
+                else:
+                    substitution[left] = right  # type: ignore[index]
+            elif left_is_var:
+                substitution[left] = right  # type: ignore[index]
+            elif right_is_var:
+                substitution[right] = left  # type: ignore[index]
+            else:
+                return None, []
+        # Flatten chains (x -> y, y -> 5 becomes x -> 5) so that a single
+        # application via ``Atom.substitute`` suffices.
+        flattened = {
+            variable: apply_substitution_term(variable, substitution)
+            for variable in substitution
+        }
+        return flattened, residual
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def reformulate(
+    pdms: PDMS,
+    query: ConjunctiveQuery,
+    config: Optional[ReformulationConfig] = None,
+) -> ReformulationResult:
+    """Reformulate ``query`` over the PDMS's stored relations.
+
+    Parameters
+    ----------
+    pdms:
+        The peer data management system (peers, storage descriptions, peer
+        mappings).
+    query:
+        A conjunctive query over peer relations (of any peer).
+    config:
+        Optional :class:`ReformulationConfig`; defaults enable every
+        optimization.
+
+    Returns
+    -------
+    ReformulationResult
+        Holds the rule-goal tree (with node statistics) and streams the
+        conjunctive rewritings over stored relations.
+    """
+    config = config if config is not None else DEFAULT_CONFIG
+    builder = _TreeBuilder(pdms, query, config)
+    tree = builder.build()
+    assembler = _RewritingAssembler(query, tree, config)
+    return ReformulationResult(query=query, tree=tree, config=config, _assembler=assembler)

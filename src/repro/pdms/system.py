@@ -1,0 +1,330 @@
+"""The PDMS object: peers, mappings, and the normalised PPL catalogue.
+
+A :class:`PDMS` collects peers, storage descriptions, and peer mappings,
+validates them, and produces the *normalised* form the reformulation
+algorithm works on (Step 1 of Section 4.2):
+
+* every equality peer mapping becomes two inclusion mappings;
+* every inclusion ``Q1 ⊆ Q2`` becomes a pair ``V ⊆ Q2`` (an inclusion whose
+  left-hand side is a single atom) plus a definitional rule ``V :- Q1``,
+  where ``V`` is a fresh predicate — unless ``Q1`` is already a single
+  atom, in which case that atom itself plays the role of ``V``;
+* storage descriptions are already of the shape ``R ⊆ Q`` / ``R = Q`` with
+  a single stored atom on the left.
+
+The normalised catalogue indexes definitional rules by head predicate (for
+GAV-style *definitional expansion*) and inclusion descriptions by the
+predicates of their right-hand sides (for LAV-style *inclusion expansion*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.queries import ConjunctiveQuery, DatalogRule
+from ..errors import MappingError, PDMSConfigurationError
+from ..integration.views import View, ViewKind
+from .mappings import (
+    DefinitionalMapping,
+    EqualityMapping,
+    InclusionMapping,
+    StorageDescription,
+)
+from .peer import Peer, StoredRelation
+
+#: Any of the three peer-mapping flavours.
+AnyPeerMapping = Union[InclusionMapping, EqualityMapping, DefinitionalMapping]
+
+
+@dataclass(frozen=True)
+class NormalizedRule:
+    """A definitional rule in the normalised catalogue.
+
+    ``synthetic`` rules are the ``V :- Q1`` halves produced by normalising
+    non-atomic inclusion left-hand sides; they are exempt from the
+    "never reuse a description on a path" termination rule because using
+    them is part of applying the *same* original description.
+    """
+
+    rule: DatalogRule
+    origin: str
+    synthetic: bool = False
+
+    @property
+    def head_predicate(self) -> str:
+        """Predicate defined by the rule."""
+        return self.rule.name
+
+
+@dataclass(frozen=True)
+class NormalizedInclusion:
+    """An inclusion description ``V ⊆ Q2`` (or ``V = Q2``) in normal form.
+
+    ``view``'s head is the single left-hand-side atom (peer relation,
+    stored relation, or synthetic predicate); its body is the right-hand
+    side query.  ``stored`` records whether the head is a stored relation
+    (then a goal node labelled with it is a leaf of the rule-goal tree).
+    """
+
+    view: View
+    origin: str
+    stored: bool = False
+
+    @property
+    def head_predicate(self) -> str:
+        """The left-hand-side (view) predicate."""
+        return self.view.name
+
+    def body_predicates(self) -> frozenset[str]:
+        """Predicates of the right-hand-side query."""
+        return self.view.definition.predicates()
+
+
+@dataclass
+class NormalizedCatalogue:
+    """The complete normalised PPL catalogue of a PDMS."""
+
+    rules: List[NormalizedRule] = field(default_factory=list)
+    inclusions: List[NormalizedInclusion] = field(default_factory=list)
+    stored_relations: frozenset = frozenset()
+    rules_by_head: Dict[str, List[NormalizedRule]] = field(default_factory=dict)
+    inclusions_by_body_predicate: Dict[str, List[NormalizedInclusion]] = field(
+        default_factory=dict
+    )
+
+    def index(self) -> None:
+        """(Re)build the by-predicate indexes."""
+        self.rules_by_head = {}
+        for rule in self.rules:
+            self.rules_by_head.setdefault(rule.head_predicate, []).append(rule)
+        self.inclusions_by_body_predicate = {}
+        for inclusion in self.inclusions:
+            for predicate in inclusion.body_predicates():
+                self.inclusions_by_body_predicate.setdefault(predicate, []).append(
+                    inclusion
+                )
+
+    def definitional_for(self, predicate: str) -> Sequence[NormalizedRule]:
+        """Definitional rules whose head is ``predicate``."""
+        return tuple(self.rules_by_head.get(predicate, ()))
+
+    def inclusions_mentioning(self, predicate: str) -> Sequence[NormalizedInclusion]:
+        """Inclusion descriptions whose right-hand side mentions ``predicate``."""
+        return tuple(self.inclusions_by_body_predicate.get(predicate, ()))
+
+    def is_stored(self, predicate: str) -> bool:
+        """Is ``predicate`` a stored relation?"""
+        return predicate in self.stored_relations
+
+
+class PDMS:
+    """A peer data management system: peers + storage descriptions + peer mappings.
+
+    The methods mirror Section 2's formal definition: a PDMS is a set of
+    peers with schemas, stored relations at each peer, peer mappings
+    ``L_N``, and storage descriptions ``D_N``.
+    """
+
+    def __init__(self, name: str = "pdms"):
+        self.name = name
+        self._peers: Dict[str, Peer] = {}
+        self._storage_descriptions: List[StorageDescription] = []
+        self._peer_mappings: List[AnyPeerMapping] = []
+        self._catalogue: Optional[NormalizedCatalogue] = None
+
+    # -- peers ---------------------------------------------------------------------
+
+    def add_peer(self, peer: Union[Peer, str]) -> Peer:
+        """Register a peer (created on the fly when given a name)."""
+        if isinstance(peer, str):
+            peer = Peer(peer)
+        if peer.name in self._peers:
+            raise PDMSConfigurationError(f"duplicate peer name {peer.name!r}")
+        self._peers[peer.name] = peer
+        self._catalogue = None
+        return peer
+
+    def peer(self, name: str) -> Peer:
+        """Look up a peer by name."""
+        try:
+            return self._peers[name]
+        except KeyError as exc:
+            raise PDMSConfigurationError(f"no peer named {name!r}") from exc
+
+    def peers(self) -> Tuple[Peer, ...]:
+        """All registered peers."""
+        return tuple(self._peers.values())
+
+    def __contains__(self, peer_name: str) -> bool:
+        return peer_name in self._peers
+
+    # -- relations ------------------------------------------------------------------
+
+    def stored_relation_names(self) -> frozenset[str]:
+        """Names of every stored relation in the system."""
+        names = set()
+        for peer in self._peers.values():
+            names.update(peer.stored_relation_names())
+        return frozenset(names)
+
+    def peer_relation_names(self) -> frozenset[str]:
+        """Qualified names of every peer relation in the system."""
+        names = set()
+        for peer in self._peers.values():
+            names.update(peer.peer_relation_names())
+        return frozenset(names)
+
+    def is_stored_relation(self, predicate: str) -> bool:
+        """Is ``predicate`` a stored relation of some peer?"""
+        return predicate in self.stored_relation_names()
+
+    def is_peer_relation(self, predicate: str) -> bool:
+        """Is ``predicate`` a declared peer relation?"""
+        return predicate in self.peer_relation_names()
+
+    # -- descriptions -----------------------------------------------------------------
+
+    def add_storage_description(self, description: StorageDescription) -> StorageDescription:
+        """Register a storage description; the owning peer must exist."""
+        if description.peer not in self._peers:
+            raise PDMSConfigurationError(
+                f"storage description references unknown peer {description.peer!r}"
+            )
+        owner = self._peers[description.peer]
+        if description.relation not in owner.stored_relation_names():
+            # Auto-declare the stored relation with positional attributes so
+            # small examples and generated workloads stay concise.
+            owner.add_stored_relation(
+                description.relation,
+                [f"a{i}" for i in range(description.arity)],
+            )
+        self._storage_descriptions.append(description)
+        self._catalogue = None
+        return description
+
+    def add_peer_mapping(self, mapping: AnyPeerMapping) -> AnyPeerMapping:
+        """Register a peer mapping (inclusion, equality, or definitional)."""
+        if not isinstance(
+            mapping, (InclusionMapping, EqualityMapping, DefinitionalMapping)
+        ):
+            raise MappingError(f"unsupported peer mapping type {type(mapping).__name__}")
+        self._peer_mappings.append(mapping)
+        self._catalogue = None
+        return mapping
+
+    def storage_descriptions(self) -> Tuple[StorageDescription, ...]:
+        """All storage descriptions (D_N)."""
+        return tuple(self._storage_descriptions)
+
+    def peer_mappings(self) -> Tuple[AnyPeerMapping, ...]:
+        """All peer mappings (L_N)."""
+        return tuple(self._peer_mappings)
+
+    # -- normalisation -----------------------------------------------------------------
+
+    def catalogue(self) -> NormalizedCatalogue:
+        """Return the normalised PPL catalogue (cached until the PDMS changes)."""
+        if self._catalogue is None:
+            self._catalogue = self._normalise()
+        return self._catalogue
+
+    def _normalise(self) -> NormalizedCatalogue:
+        catalogue = NormalizedCatalogue(stored_relations=self.stored_relation_names())
+
+        for mapping in self._peer_mappings:
+            if isinstance(mapping, DefinitionalMapping):
+                catalogue.rules.append(
+                    NormalizedRule(mapping.rule, origin=mapping.name, synthetic=False)
+                )
+            elif isinstance(mapping, InclusionMapping):
+                self._normalise_inclusion(mapping, mapping.name, exact=False, catalogue=catalogue)
+            elif isinstance(mapping, EqualityMapping):
+                forward, backward = mapping.as_inclusions()
+                # Both directions share the equality's origin so the
+                # termination rule treats them as one description.
+                self._normalise_inclusion(forward, mapping.name, exact=True, catalogue=catalogue)
+                self._normalise_inclusion(backward, mapping.name, exact=True, catalogue=catalogue)
+
+        for description in self._storage_descriptions:
+            head = Atom(description.relation, description.query.head.args)
+            view = View(
+                ConjunctiveQuery(head, description.query.body),
+                ViewKind.EXACT if description.exact else ViewKind.CONTAINED,
+            )
+            catalogue.inclusions.append(
+                NormalizedInclusion(view, origin=description.name, stored=True)
+            )
+
+        catalogue.index()
+        return catalogue
+
+    def _normalise_inclusion(
+        self,
+        mapping: InclusionMapping,
+        origin: str,
+        exact: bool,
+        catalogue: NormalizedCatalogue,
+    ) -> None:
+        kind = ViewKind.EXACT if exact else ViewKind.CONTAINED
+        if mapping.left_is_single_atom():
+            head_predicate = mapping.left.relational_body()[0].predicate
+            head = Atom(head_predicate, mapping.right.head.args)
+            view = View(ConjunctiveQuery(head, mapping.right.body), kind)
+            catalogue.inclusions.append(
+                NormalizedInclusion(
+                    view,
+                    origin=origin,
+                    stored=self.is_stored_relation(head_predicate),
+                )
+            )
+            return
+        # General left-hand side: introduce a synthetic predicate V.
+        synthetic_predicate = f"__ppl_{mapping.name}"
+        view_head = Atom(synthetic_predicate, mapping.right.head.args)
+        view = View(ConjunctiveQuery(view_head, mapping.right.body), kind)
+        catalogue.inclusions.append(
+            NormalizedInclusion(view, origin=origin, stored=False)
+        )
+        rule_head = Atom(synthetic_predicate, mapping.left.head.args)
+        rule = DatalogRule(rule_head, mapping.left.body)
+        catalogue.rules.append(NormalizedRule(rule, origin=origin, synthetic=True))
+
+    # -- high-level operations ------------------------------------------------------------
+
+    def reformulate(self, query: ConjunctiveQuery, config=None):
+        """Reformulate ``query`` over stored relations (see :mod:`repro.pdms.reformulation`)."""
+        from .reformulation import reformulate as _reformulate
+
+        return _reformulate(self, query, config=config)
+
+    def answer(self, query: ConjunctiveQuery, data, config=None):
+        """Reformulate and evaluate ``query`` over stored-relation data."""
+        from .execution import answer_query
+
+        return answer_query(self, query, data, config=config)
+
+    def analyze(self):
+        """Classify query-answering complexity per Theorems 3.1–3.3."""
+        from .analysis import analyze_pdms
+
+        return analyze_pdms(self)
+
+    # -- display -----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary of the PDMS."""
+        lines = [f"PDMS {self.name!r}"]
+        for peer in self._peers.values():
+            lines.append(f"  {peer}")
+        lines.append(f"  {len(self._storage_descriptions)} storage descriptions")
+        lines.append(f"  {len(self._peer_mappings)} peer mappings")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PDMS({self.name!r}: {len(self._peers)} peers, "
+            f"{len(self._peer_mappings)} mappings, "
+            f"{len(self._storage_descriptions)} storage descriptions)"
+        )

@@ -1,0 +1,23 @@
+"""Workload generation: the Section-5 synthetic generator and the Figure-1 scenario."""
+
+from .data import populate_stored_relations, populate_workload
+from .generator import GeneratedWorkload, GeneratorParameters, generate_runs, generate_workload
+from .scenarios import (
+    add_earthquake_command_center,
+    build_emergency_services,
+    example_queries,
+    sample_instance,
+)
+
+__all__ = [
+    "GeneratedWorkload",
+    "GeneratorParameters",
+    "add_earthquake_command_center",
+    "build_emergency_services",
+    "example_queries",
+    "generate_runs",
+    "generate_workload",
+    "populate_stored_relations",
+    "populate_workload",
+    "sample_instance",
+]

@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's running examples as ready-made PDMSs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import parse_atom, parse_query
+from repro.pdms import (
+    PDMS,
+    DefinitionalMapping,
+    StorageDescription,
+    lav_style,
+)
+from repro.workload import build_emergency_services, sample_instance
+
+
+@pytest.fixture
+def figure2_pdms() -> PDMS:
+    """The Figure-2 reformulation example: firefighters, engines, skills.
+
+    Descriptions r0–r3 of the paper:
+
+    * r0 (definitional): ``SameEngine(f1,f2,e) :- AssignedTo(f1,e), AssignedTo(f2,e)``
+    * r1 (inclusion):    ``SameSkill(f1,f2) ⊆ Skill(f1,s), Skill(f2,s)``
+    * r2 (storage):      ``S1(f,e,s) ⊆ AssignedTo(f,e), Sched(f,st,s)``
+    * r3 (storage, =):   ``S2(f1,f2) = SameSkill(f1,f2)``
+    """
+    pdms = PDMS("figure2")
+    fs = pdms.add_peer("FS")
+    fs.add_relation("SameEngine", ["f1", "f2", "e"])
+    fs.add_relation("AssignedTo", ["f", "e"])
+    fs.add_relation("Skill", ["f", "s"])
+    fs.add_relation("SameSkill", ["f1", "f2"])
+    fs.add_relation("Sched", ["f", "st", "end"])
+
+    pdms.add_peer_mapping(DefinitionalMapping(parse_query(
+        "FS:SameEngine(f1,f2,e) :- FS:AssignedTo(f1,e), FS:AssignedTo(f2,e)"), name="r0"))
+    pdms.add_peer_mapping(lav_style(
+        parse_atom("FS:SameSkill(f1,f2)"),
+        parse_query("R(f1,f2) :- FS:Skill(f1,s), FS:Skill(f2,s)"), name="r1"))
+    pdms.add_storage_description(StorageDescription(
+        "FS", "S1",
+        parse_query("V(f,e,s) :- FS:AssignedTo(f,e), FS:Sched(f,st,s)"),
+        exact=False, name="r2"))
+    pdms.add_storage_description(StorageDescription(
+        "FS", "S2",
+        parse_query("V(f1,f2) :- FS:SameSkill(f1,f2)"),
+        exact=True, name="r3"))
+    return pdms
+
+
+@pytest.fixture
+def figure2_query():
+    """The Figure-2 query: firefighters with matching skills on the same engine."""
+    return parse_query(
+        "Q(f1,f2) :- FS:SameEngine(f1,f2,e), FS:Skill(f1,s), FS:Skill(f2,s)")
+
+
+@pytest.fixture(scope="session")
+def emergency_pdms() -> PDMS:
+    """The full Figure-1 emergency-services scenario (with the ECC joined)."""
+    return build_emergency_services(include_ecc=True)
+
+
+@pytest.fixture(scope="session")
+def emergency_data():
+    """Sample stored-relation data for the emergency-services scenario."""
+    return sample_instance()

@@ -1,0 +1,103 @@
+"""Integration tests that walk through the paper's own examples end to end.
+
+Covered here:
+
+* Example 1.1 / Figure 1 — the emergency-services PDMS, including the ad hoc
+  addition of the Earthquake Command Center and transitive reuse of all
+  existing sources.
+* Example 2.2 — GAV-style (SkilledPerson) and LAV-style (Lakeview beds)
+  mappings.
+* Example 2.3 — First Hospital's storage descriptions.
+* Section 3 — the replication equality ``ECC:Vehicle = 9DC:Vehicle``.
+* Example 4.1 / Figure 2 — the reformulation rule-goal tree.
+"""
+
+import pytest
+
+from repro.datalog import parse_query
+from repro.pdms import answer_query, certain_answers, reformulate
+from repro.workload import (
+    add_earthquake_command_center,
+    build_emergency_services,
+    example_queries,
+    sample_instance,
+)
+
+
+class TestEmergencyServicesScenario:
+    def test_every_example_query_matches_the_oracle(self, emergency_pdms, emergency_data):
+        for name, query in example_queries().items():
+            answers = answer_query(emergency_pdms, query, emergency_data)
+            oracle = certain_answers(emergency_pdms, query, emergency_data)
+            assert answers == oracle, f"query {name!r} disagrees with the oracle"
+
+    def test_skilled_doctors_found_through_two_levels(self, emergency_pdms, emergency_data):
+        query = parse_query('Q(pid) :- 9DC:SkilledPerson(pid, "Doctor")')
+        answers = answer_query(emergency_pdms, query, emergency_data)
+        # The three doctors stored at First Hospital (Example 2.3's doc relation).
+        assert answers == {("d1",), ("d2",), ("d3",)}
+
+    def test_fire_emts_found_through_fs_chain(self, emergency_pdms, emergency_data):
+        query = parse_query('Q(pid) :- 9DC:SkilledPerson(pid, "EMT")')
+        answers = answer_query(emergency_pdms, query, emergency_data)
+        # f7 is scheduled on engine 31, which did a first response, and has
+        # the "medical" skill — the three-way join of the third GAV rule.
+        assert ("f7",) in answers
+
+    def test_lakeview_critical_beds_reachable_from_9dc(self, emergency_pdms, emergency_data):
+        query = parse_query('Q(bid) :- 9DC:Bed(bid, loc, "critical")')
+        answers = answer_query(emergency_pdms, query, emergency_data)
+        assert {("bed20",), ("bed21",)} <= answers
+
+    def test_transitivity_after_ecc_joins(self, emergency_data):
+        """Queries over the ECC use sources mapped only to the 9DC (Example 1.1)."""
+        without_ecc = build_emergency_services(include_ecc=False)
+        with pytest.raises(Exception):
+            # The ECC peer does not even exist yet.
+            without_ecc.peer("ECC")
+        add_earthquake_command_center(without_ecc)
+        query = parse_query("Q(vid, type) :- ECC:Vehicle(vid, type, c, g, d)")
+        answers = answer_query(without_ecc, query, emergency_data)
+        assert ("amb1", "ambulance") in answers
+        assert ("eng12", "engine") in answers
+
+    def test_replication_equality_gives_same_vehicles_on_both_peers(
+        self, emergency_pdms, emergency_data
+    ):
+        ecc_query = parse_query("Q(vid) :- ECC:Vehicle(vid, t, c, g, d)")
+        ninedc_query = parse_query("Q(vid) :- 9DC:Vehicle(vid, t, c, g, d)")
+        assert answer_query(emergency_pdms, ecc_query, emergency_data) == answer_query(
+            emergency_pdms, ninedc_query, emergency_data
+        )
+
+    def test_doctor_hours_join_across_mappings(self, emergency_pdms, emergency_data):
+        query = parse_query(
+            'Q(pid, s, e) :- 9DC:SkilledPerson(pid, "Doctor"), 9DC:Hours(pid, s, e)')
+        answers = answer_query(emergency_pdms, query, emergency_data)
+        assert ("d1", 8, 16) in answers
+
+    def test_reformulations_use_only_stored_relations(self, emergency_pdms):
+        stored = emergency_pdms.stored_relation_names()
+        for query in example_queries().values():
+            result = reformulate(emergency_pdms, query)
+            for rewriting in result.all_rewritings():
+                assert {a.predicate for a in rewriting.relational_body()} <= stored
+
+
+class TestFigure2EndToEnd:
+    def test_answers_equal_certain_answers(self, figure2_pdms, figure2_query):
+        data = {
+            "S1": [("alice", "e1", 17), ("bob", "e1", 18), ("carol", "e2", 17)],
+            "S2": [("alice", "bob")],
+        }
+        answers = answer_query(figure2_pdms, figure2_query, data)
+        oracle = certain_answers(figure2_pdms, figure2_query, data)
+        assert answers == oracle
+        assert ("alice", "bob") in answers and ("bob", "alice") in answers
+
+    def test_no_skill_overlap_means_no_answer(self, figure2_pdms, figure2_query):
+        data = {
+            "S1": [("alice", "e1", 17), ("bob", "e1", 18)],
+            "S2": [],
+        }
+        assert answer_query(figure2_pdms, figure2_query, data) == set()

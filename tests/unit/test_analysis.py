@@ -1,0 +1,138 @@
+"""Unit tests for the complexity classification (repro.pdms.analysis)."""
+
+import pytest
+
+from repro.datalog import parse_atom, parse_query
+from repro.pdms import (
+    PDMS,
+    ComplexityClass,
+    DefinitionalMapping,
+    EqualityMapping,
+    InclusionMapping,
+    StorageDescription,
+    analyze_pdms,
+    build_inclusion_graph,
+    lav_style,
+    replication,
+)
+from repro.pdms.analysis import is_acyclic
+
+
+def _pdms_with(*, peers=("A", "B")):
+    pdms = PDMS()
+    for name in peers:
+        peer = pdms.add_peer(name)
+        peer.add_relation("R", ["x", "y"])
+    return pdms
+
+
+class TestInclusionGraph:
+    def test_acyclic_inclusions(self):
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:R(x, y)"), parse_query("Q(x, y) :- A:R(x, y)")))
+        graph = build_inclusion_graph(pdms)
+        assert graph["B:R"] == {"A:R"}
+        assert is_acyclic(graph)
+
+    def test_equality_creates_cycle(self):
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(replication(
+            parse_atom("A:R(x, y)"), parse_atom("B:R(x, y)")))
+        graph = build_inclusion_graph(pdms)
+        assert not is_acyclic(graph)
+
+    def test_cycle_through_two_inclusions(self):
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("A:R(x, y)"), parse_query("Q(x, y) :- B:R(x, y)")))
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:R(x, y)"), parse_query("Q(x, y) :- A:R(x, y)")))
+        assert not is_acyclic(build_inclusion_graph(pdms))
+
+
+class TestClassification:
+    def test_acyclic_inclusion_only_is_polynomial(self):
+        """Theorem 3.1(2)."""
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:R(x, y)"), parse_query("Q(x, y) :- A:R(x, y)")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.POLYNOMIAL
+        assert report.tractable and report.algorithm_complete
+        assert "3.1" in report.theorem
+
+    def test_cyclic_inclusions_undecidable(self):
+        """Theorem 3.1(1)."""
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("A:R(x, y)"), parse_query("Q(x, y) :- B:R(x, y)")))
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:R(x, y)"), parse_query("Q(x, y) :- A:R(x, y)")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.UNDECIDABLE
+        assert not report.inclusion_graph_acyclic
+
+    def test_projection_free_equality_is_polynomial(self):
+        """Theorem 3.2(1): replication stays tractable."""
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(replication(
+            parse_atom("A:R(x, y)"), parse_atom("B:R(x, y)")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.POLYNOMIAL
+        assert "3.2" in report.theorem
+
+    def test_projecting_equality_not_tractable(self):
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(EqualityMapping(
+            parse_query("L(x) :- A:R(x, y)"), parse_query("R(x) :- B:R(x, x)")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is not ComplexityClass.POLYNOMIAL
+        assert not report.algorithm_complete
+
+    def test_projecting_equality_storage_description_conp(self):
+        """Theorem 3.2(2)."""
+        pdms = _pdms_with()
+        pdms.add_storage_description(StorageDescription(
+            "A", "s", parse_query("V(x) :- A:R(x, y)"), exact=True))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.CONP_COMPLETE
+        assert "3.2(2)" in report.theorem
+
+    def test_definitional_head_on_rhs_violates_restriction(self):
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:R(x, y)")))
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:R(x, y)"), parse_query("Q(x, y) :- A:R(x, y)")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.CONP_COMPLETE
+        assert not report.algorithm_complete
+
+    def test_comparisons_in_storage_only_polynomial(self):
+        """Theorem 3.3(1)."""
+        pdms = _pdms_with()
+        pdms.add_storage_description(StorageDescription(
+            "A", "cheap", parse_query("V(x, y) :- A:R(x, y), y < 100")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.POLYNOMIAL
+        assert "3.3" in report.theorem
+
+    def test_comparisons_in_peer_mappings_conp(self):
+        """Theorem 3.3(2)."""
+        pdms = _pdms_with()
+        pdms.add_peer_mapping(InclusionMapping(
+            parse_query("L(x, y) :- B:R(x, y), y < 5"),
+            parse_query("R(x, y) :- A:R(x, y)")))
+        report = analyze_pdms(pdms)
+        assert report.complexity is ComplexityClass.CONP_COMPLETE
+        assert "3.3(2)" in report.theorem
+
+    def test_empty_pdms_is_trivially_polynomial(self):
+        report = analyze_pdms(_pdms_with())
+        assert report.tractable
+        assert str(report)
+
+    def test_pdms_analyze_method_delegates(self):
+        pdms = _pdms_with()
+        assert pdms.analyze().tractable

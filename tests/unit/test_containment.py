@@ -1,0 +1,99 @@
+"""Unit tests for repro.datalog.containment."""
+
+from repro.datalog.containment import (
+    are_equivalent,
+    containment_mapping,
+    is_contained_in,
+    remove_redundant_disjuncts,
+    ucq_is_contained_in,
+)
+from repro.datalog.parser import parse_query
+from repro.datalog.queries import UnionQuery
+
+
+class TestCQContainment:
+    def test_adding_atoms_shrinks_the_result(self):
+        bigger = parse_query("Q(x, y) :- R(x, z), S(z, y)")
+        smaller = parse_query("Q(x, y) :- R(x, z), S(z, y), R(x, w)")
+        assert is_contained_in(smaller, bigger)
+        # And in this particular case the extra atom is redundant:
+        assert is_contained_in(bigger, smaller)
+
+    def test_specialisation_by_constant(self):
+        general = parse_query("Q(x) :- R(x, y)")
+        specific = parse_query("Q(x) :- R(x, 5)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_incomparable_queries(self):
+        first = parse_query("Q(x) :- R(x, y)")
+        second = parse_query("Q(x) :- S(x, y)")
+        assert not is_contained_in(first, second)
+        assert not is_contained_in(second, first)
+
+    def test_head_must_map(self):
+        first = parse_query("Q(x) :- R(x, y)")
+        second = parse_query("Q(y) :- R(x, y)")
+        assert not is_contained_in(first, second)
+
+    def test_join_pattern_containment(self):
+        path2 = parse_query("Q(x, y) :- E(x, z), E(z, y)")
+        triangle = parse_query("Q(x, y) :- E(x, z), E(z, y), E(y, x)")
+        assert is_contained_in(triangle, path2)
+        assert not is_contained_in(path2, triangle)
+
+    def test_containment_mapping_returned(self):
+        container = parse_query("Q(x) :- R(x, y)")
+        contained = parse_query("Q(a) :- R(a, b), S(b)")
+        mapping = containment_mapping(container, contained)
+        assert mapping is not None
+
+    def test_equivalence_up_to_renaming(self):
+        first = parse_query("Q(x, y) :- R(x, z), S(z, y)")
+        second = parse_query("Q(a, b) :- R(a, c), S(c, b)")
+        assert are_equivalent(first, second)
+
+
+class TestComparisonContainment:
+    def test_stricter_comparison_is_contained(self):
+        broad = parse_query("Q(x) :- R(x, y), y < 10")
+        narrow = parse_query("Q(x) :- R(x, y), y < 5")
+        assert is_contained_in(narrow, broad)
+        assert not is_contained_in(broad, narrow)
+
+    def test_comparison_free_container(self):
+        broad = parse_query("Q(x) :- R(x, y)")
+        narrow = parse_query("Q(x) :- R(x, y), y < 5")
+        assert is_contained_in(narrow, broad)
+        assert not is_contained_in(broad, narrow)
+
+
+class TestUCQContainment:
+    def test_union_containment(self):
+        union_small = [parse_query("Q(x) :- R(x, 1)")]
+        union_big = [parse_query("Q(x) :- R(x, y)"), parse_query("Q(x) :- S(x)")]
+        assert ucq_is_contained_in(union_small, union_big)
+        assert not ucq_is_contained_in(union_big, union_small)
+
+    def test_union_query_objects_accepted(self):
+        small = UnionQuery([parse_query("Q(x) :- R(x, 1)")])
+        big = UnionQuery([parse_query("Q(x) :- R(x, y)")])
+        assert ucq_is_contained_in(small, big)
+
+
+class TestRedundancyRemoval:
+    def test_subsumed_disjunct_removed(self):
+        general = parse_query("Q(x) :- R(x, y)")
+        specific = parse_query("Q(x) :- R(x, 5)")
+        kept = remove_redundant_disjuncts([specific, general])
+        assert kept == [general]
+
+    def test_keeps_incomparable_disjuncts(self):
+        first = parse_query("Q(x) :- R(x, y)")
+        second = parse_query("Q(x) :- S(x, y)")
+        assert len(remove_redundant_disjuncts([first, second])) == 2
+
+    def test_duplicates_collapse(self):
+        first = parse_query("Q(x) :- R(x, y)")
+        second = parse_query("Q(a) :- R(a, b)")
+        assert len(remove_redundant_disjuncts([first, second])) == 1

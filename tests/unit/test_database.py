@@ -1,0 +1,189 @@
+"""Unit tests for repro.database (schema, instance, algebra, csvio)."""
+
+import pytest
+
+from repro.database import (
+    DatabaseSchema,
+    Instance,
+    RelationSchema,
+    Table,
+    load_relation_csv,
+    save_relation_csv,
+    table_from_instance,
+)
+from repro.database.csvio import load_instance_directory
+from repro.errors import EvaluationError, InstanceError, SchemaError
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.arity == 2
+        assert schema.position_of("b") == 1
+        assert str(schema) == "R(a, b)"
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"]).position_of("z")
+
+    def test_typed_validation(self):
+        schema = RelationSchema("R", ["a", "b"], [int, str])
+        assert schema.validate_row([1, "x"]) == (1, "x")
+        with pytest.raises(SchemaError):
+            schema.validate_row(["not-int", "x"])
+        with pytest.raises(SchemaError):
+            schema.validate_row([1])
+
+    def test_type_count_must_match(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "b"], [int])
+
+    def test_rename(self):
+        assert RelationSchema("R", ["a"]).rename("S").name == "S"
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema("db", [RelationSchema("R", ["a"])])
+        assert "R" in schema
+        assert schema.relation("R").arity == 1
+        assert schema.relation_names() == ("R",)
+
+    def test_duplicate_relation_rejected(self):
+        schema = DatabaseSchema("db", [RelationSchema("R", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("R", ["b"]))
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema("db").relation("missing")
+
+
+class TestInstance:
+    def test_add_and_get(self):
+        instance = Instance()
+        instance.add("R", (1, 2))
+        instance.add_all("R", [(3, 4), (1, 2)])
+        assert set(instance.get_tuples("R")) == {(1, 2), (3, 4)}
+        assert instance.cardinality("R") == 2
+
+    def test_arity_enforced_without_schema(self):
+        instance = Instance()
+        instance.add("R", (1, 2))
+        with pytest.raises(InstanceError):
+            instance.add("R", (1,))
+
+    def test_schema_validation(self):
+        schema = DatabaseSchema("db", [RelationSchema("R", ["a"], [int])])
+        instance = Instance(schema)
+        instance.add("R", (1,))
+        with pytest.raises(InstanceError):
+            instance.add("S", (1,))
+
+    def test_remove_and_clear(self):
+        instance = Instance.from_dict({"R": [(1,), (2,)]})
+        instance.remove("R", (1,))
+        assert set(instance.get_tuples("R")) == {(2,)}
+        with pytest.raises(InstanceError):
+            instance.remove("R", (9,))
+        instance.clear("R")
+        assert instance.cardinality("R") == 0
+
+    def test_copy_and_merge_and_equality(self):
+        first = Instance.from_dict({"R": [(1,)]})
+        second = Instance.from_dict({"R": [(2,)], "S": [(3,)]})
+        merged = first.merge(second)
+        assert set(merged.get_tuples("R")) == {(1,), (2,)}
+        assert first == Instance.from_dict({"R": [(1,)]})
+        assert first != merged
+        copy = first.copy()
+        copy.add("R", (9,))
+        assert first.cardinality("R") == 1
+
+    def test_active_domain_and_total_rows(self):
+        instance = Instance.from_dict({"R": [(1, "a")], "S": [(2,)]})
+        assert instance.active_domain() == {1, "a", 2}
+        assert instance.total_rows() == 2
+
+    def test_instances_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Instance())
+
+
+class TestTable:
+    def test_projection_and_selection(self):
+        table = Table(["a", "b"], [(1, 2), (3, 4)])
+        assert table.project(["b"]).to_set() == {(2,), (4,)}
+        assert table.select_eq("a", 1).to_set() == {(1, 2)}
+        assert table.select(lambda row: row["b"] > 2).to_set() == {(3, 4)}
+
+    def test_natural_join(self):
+        left = Table(["a", "b"], [(1, 2), (3, 4)])
+        right = Table(["b", "c"], [(2, "x"), (4, "y"), (5, "z")])
+        joined = left.natural_join(right)
+        assert set(joined.columns) == {"a", "b", "c"}
+        assert len(joined) == 2
+
+    def test_union_and_difference_require_same_columns(self):
+        first = Table(["a"], [(1,)])
+        second = Table(["a"], [(2,)])
+        assert first.union(second).to_set() == {(1,), (2,)}
+        assert first.difference(second).to_set() == {(1,)}
+        with pytest.raises(EvaluationError):
+            first.union(Table(["b"], [(1,)]))
+
+    def test_rename_and_cross(self):
+        first = Table(["a"], [(1,)])
+        second = Table(["b"], [(2,)])
+        crossed = first.cross(second)
+        assert crossed.to_set() == {(1, 2)}
+        with pytest.raises(EvaluationError):
+            first.cross(Table(["a"], [(9,)]))
+        assert first.rename({"a": "z"}).columns == ("z",)
+
+    def test_select_columns_equal(self):
+        table = Table(["a", "b"], [(1, 1), (1, 2)])
+        assert table.select_columns_equal("a", "b").to_set() == {(1, 1)}
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            Table(["a", "a"], [])
+
+    def test_row_width_checked(self):
+        with pytest.raises(EvaluationError):
+            Table(["a", "b"], [(1,)])
+
+    def test_table_from_instance_uses_schema_columns(self):
+        schema = DatabaseSchema("db", [RelationSchema("R", ["x", "y"])])
+        instance = Instance(schema)
+        instance.add("R", (1, 2))
+        table = table_from_instance(instance, "R")
+        assert table.columns == ("x", "y")
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        instance = Instance.from_dict({"R": [(1, "a"), (2, "b")]})
+        path = tmp_path / "R.csv"
+        written = save_relation_csv(instance, "R", path, header=["n", "s"])
+        assert written == 2
+        loaded = Instance()
+        count = load_relation_csv(loaded, "R", path)
+        assert count == 2
+        assert set(loaded.get_tuples("R")) == {(1, "a"), (2, "b")}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(InstanceError):
+            load_relation_csv(Instance(), "R", tmp_path / "nope.csv")
+
+    def test_load_directory(self, tmp_path):
+        instance = Instance.from_dict({"R": [(1, 2)], "S": [("a", "b")]})
+        save_relation_csv(instance, "R", tmp_path / "R.csv", header=["x", "y"])
+        save_relation_csv(instance, "S", tmp_path / "S.csv", header=["x", "y"])
+        loaded = load_instance_directory(tmp_path)
+        assert set(loaded.relations()) == {"R", "S"}
+        assert set(loaded.get_tuples("R")) == {(1, 2)}

@@ -1,0 +1,145 @@
+"""Unit tests for repro.pdms.execution and repro.pdms.semantics."""
+
+import pytest
+
+from repro.database import Instance
+from repro.datalog import parse_atom, parse_query
+from repro.pdms import (
+    PDMS,
+    DefinitionalMapping,
+    StorageDescription,
+    answer_query,
+    build_canonical_instance,
+    certain_answers,
+    combine_peer_instances,
+    evaluate_reformulation,
+    is_consistent,
+    lav_style,
+    reformulate,
+    replication,
+)
+
+
+@pytest.fixture
+def two_peer_pdms():
+    pdms = PDMS()
+    a = pdms.add_peer("A")
+    a.add_relation("R", ["x", "y"])
+    b = pdms.add_peer("B")
+    b.add_relation("S", ["x", "y"])
+    pdms.add_peer_mapping(DefinitionalMapping(parse_query("A:R(x, y) :- B:S(x, y)")))
+    pdms.add_storage_description(
+        StorageDescription("B", "stored_s", parse_query("V(x, y) :- B:S(x, y)")))
+    return pdms
+
+
+class TestExecution:
+    def test_combine_peer_instances(self):
+        first = Instance.from_dict({"r1": [(1,)]})
+        second = Instance.from_dict({"r2": [(2,)], "r1": [(3,)]})
+        combined = combine_peer_instances({"A": first, "B": second})
+        assert set(combined.get_tuples("r1")) == {(1,), (3,)}
+        assert set(combined.get_tuples("r2")) == {(2,)}
+
+    def test_answer_query_with_plain_dict(self, two_peer_pdms):
+        data = {"stored_s": [(1, 2), (3, 4)]}
+        answers = answer_query(two_peer_pdms, parse_query("Q(x, y) :- A:R(x, y)"), data)
+        assert answers == {(1, 2), (3, 4)}
+
+    def test_answer_query_with_per_peer_instances(self, two_peer_pdms):
+        per_peer = {"B": Instance.from_dict({"stored_s": [(1, 2)]})}
+        answers = answer_query(two_peer_pdms, parse_query("Q(x, y) :- A:R(x, y)"), per_peer)
+        assert answers == {(1, 2)}
+
+    def test_evaluate_reformulation_streams(self, two_peer_pdms):
+        result = reformulate(two_peer_pdms, parse_query("Q(x) :- A:R(x, y)"))
+        answers = evaluate_reformulation(result, {"stored_s": [(1, 2)]})
+        assert answers == {(1,)}
+
+    def test_pdms_answer_method(self, two_peer_pdms):
+        answers = two_peer_pdms.answer(
+            parse_query("Q(y) :- A:R(1, y)"), {"stored_s": [(1, 2), (5, 6)]})
+        assert answers == {(2,)}
+
+
+class TestConsistency:
+    def test_consistent_instance_accepted(self, two_peer_pdms):
+        instance = {
+            "stored_s": [(1, 2)],
+            "B:S": [(1, 2), (3, 4)],
+            "A:R": [(1, 2), (3, 4)],
+        }
+        assert is_consistent(two_peer_pdms, instance)
+
+    def test_storage_containment_violated(self, two_peer_pdms):
+        instance = {"stored_s": [(9, 9)], "B:S": [(1, 2)], "A:R": [(1, 2)]}
+        assert not is_consistent(two_peer_pdms, instance)
+
+    def test_definitional_equality_violated(self, two_peer_pdms):
+        # A:R must equal the union of its definitional bodies; an extra fact
+        # not derivable from B:S makes the instance inconsistent.
+        instance = {
+            "stored_s": [],
+            "B:S": [(1, 2)],
+            "A:R": [(1, 2), (7, 7)],
+        }
+        assert not is_consistent(two_peer_pdms, instance)
+
+    def test_inclusion_mapping_checked(self):
+        pdms = PDMS()
+        pdms.add_peer("A").add_relation("R", ["x"])
+        pdms.add_peer("B").add_relation("S", ["x"])
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:S(x)"), parse_query("V(x) :- A:R(x)")))
+        assert is_consistent(pdms, {"B:S": [(1,)], "A:R": [(1,), (2,)]})
+        assert not is_consistent(pdms, {"B:S": [(3,)], "A:R": [(1,)]})
+
+    def test_exact_storage_description_requires_equality(self):
+        pdms = PDMS()
+        pdms.add_peer("A").add_relation("R", ["x"])
+        pdms.add_storage_description(
+            StorageDescription("A", "s", parse_query("V(x) :- A:R(x)"), exact=True))
+        assert is_consistent(pdms, {"s": [(1,)], "A:R": [(1,)]})
+        assert not is_consistent(pdms, {"s": [(1,)], "A:R": [(1,), (2,)]})
+
+    def test_equality_peer_mapping_checked(self):
+        pdms = PDMS()
+        pdms.add_peer("A").add_relation("R", ["x"])
+        pdms.add_peer("B").add_relation("R", ["x"])
+        pdms.add_peer_mapping(replication(parse_atom("A:R(x)"), parse_atom("B:R(x)")))
+        assert is_consistent(pdms, {"A:R": [(1,)], "B:R": [(1,)]})
+        assert not is_consistent(pdms, {"A:R": [(1,)], "B:R": [(1,), (2,)]})
+
+
+class TestCertainAnswerOracle:
+    def test_canonical_instance_contains_chased_facts(self, two_peer_pdms):
+        canonical = build_canonical_instance(two_peer_pdms, {"stored_s": [(1, 2)]})
+        assert (1, 2) in set(canonical.get_tuples("B:S"))
+        assert (1, 2) in set(canonical.get_tuples("A:R"))
+
+    def test_oracle_matches_reformulation_on_tractable_pdms(self, two_peer_pdms):
+        data = {"stored_s": [(1, 2), (2, 3)]}
+        query = parse_query("Q(x, z) :- A:R(x, y), A:R(y, z)")
+        assert answer_query(two_peer_pdms, query, data) == certain_answers(
+            two_peer_pdms, query, data)
+
+    def test_projected_nulls_are_not_certain(self):
+        pdms = PDMS()
+        a = pdms.add_peer("A")
+        a.add_relation("R", ["x", "y"])
+        # The stored relation only records the first column; the second is unknown.
+        pdms.add_storage_description(
+            StorageDescription("A", "partial", parse_query("V(x) :- A:R(x, y)")))
+        data = {"partial": [(1,)]}
+        assert certain_answers(pdms, parse_query("Q(x) :- A:R(x, y)"), data) == {(1,)}
+        assert certain_answers(pdms, parse_query("Q(y) :- A:R(x, y)"), data) == set()
+
+    def test_replication_cycle_chase_terminates(self):
+        pdms = PDMS()
+        pdms.add_peer("A").add_relation("V", ["x"])
+        pdms.add_peer("B").add_relation("V", ["x"])
+        pdms.add_peer_mapping(replication(parse_atom("A:V(x)"), parse_atom("B:V(x)")))
+        pdms.add_storage_description(
+            StorageDescription("B", "sb", parse_query("V(x) :- B:V(x)")))
+        answers = certain_answers(pdms, parse_query("Q(x) :- A:V(x)"), {"sb": [(1,)]})
+        assert answers == {(1,)}

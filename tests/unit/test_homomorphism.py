@@ -1,0 +1,82 @@
+"""Unit tests for repro.datalog.homomorphism."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.homomorphism import (
+    find_homomorphism,
+    find_homomorphisms,
+    has_homomorphism,
+    head_seed,
+)
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestFindHomomorphisms:
+    def test_simple_mapping_exists(self):
+        source = [Atom("R", [X, Y])]
+        target = [Atom("R", [Constant(1), Constant(2)])]
+        assert find_homomorphism(source, target) == {X: Constant(1), Y: Constant(2)}
+
+    def test_no_mapping_when_predicate_missing(self):
+        assert not has_homomorphism([Atom("R", [X])], [Atom("S", [Constant(1)])])
+
+    def test_join_variable_consistency(self):
+        source = [Atom("R", [X, Y]), Atom("S", [Y, Z])]
+        target = [
+            Atom("R", [Constant(1), Constant(2)]),
+            Atom("S", [Constant(3), Constant(4)]),
+        ]
+        # y would have to be both 2 and 3.
+        assert not has_homomorphism(source, target)
+        target.append(Atom("S", [Constant(2), Constant(4)]))
+        assert has_homomorphism(source, target)
+
+    def test_multiple_homomorphisms_enumerated(self):
+        source = [Atom("R", [X])]
+        target = [Atom("R", [Constant(1)]), Atom("R", [Constant(2)])]
+        results = list(find_homomorphisms(source, target))
+        assert {frozenset(h.items()) for h in results} == {
+            frozenset({(X, Constant(1))}),
+            frozenset({(X, Constant(2))}),
+        }
+
+    def test_constants_in_source_must_match(self):
+        source = [Atom("R", [Constant(5), X])]
+        target = [Atom("R", [Constant(5), Constant(6)]), Atom("R", [Constant(7), Constant(8)])]
+        results = list(find_homomorphisms(source, target))
+        assert results == [{X: Constant(6)}]
+
+    def test_seed_is_respected(self):
+        source = [Atom("R", [X, Y])]
+        target = [
+            Atom("R", [Constant(1), Constant(2)]),
+            Atom("R", [Constant(3), Constant(4)]),
+        ]
+        results = list(find_homomorphisms(source, target, seed={X: Constant(3)}))
+        assert results == [{X: Constant(3), Y: Constant(4)}]
+
+    def test_variables_can_map_to_variables(self):
+        source = [Atom("R", [X, Y])]
+        target = [Atom("R", [Z, Z])]
+        assert find_homomorphism(source, target) == {X: Z, Y: Z}
+
+    def test_empty_source_has_trivial_homomorphism(self):
+        assert find_homomorphism([], [Atom("R", [X])]) == {}
+
+
+class TestHeadSeed:
+    def test_matching_heads(self):
+        seed = head_seed(Atom("Q", [X, Y]), Atom("Q", [Z, W]))
+        assert seed == {X: Z, Y: W}
+
+    def test_arity_mismatch(self):
+        assert head_seed(Atom("Q", [X]), Atom("Q", [X, Y])) is None
+
+    def test_constant_mismatch(self):
+        assert head_seed(Atom("Q", [Constant(1)]), Atom("Q", [Constant(2)])) is None
+        assert head_seed(Atom("Q", [Constant(1)]), Atom("Q", [Constant(1)])) == {}
+
+    def test_repeated_head_variable_requires_equal_targets(self):
+        assert head_seed(Atom("Q", [X, X]), Atom("Q", [Y, Z])) is None
+        assert head_seed(Atom("Q", [X, X]), Atom("Q", [Y, Y])) == {X: Y}

@@ -1,0 +1,127 @@
+"""Unit tests for repro.datalog.parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.parser import (
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_union,
+)
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+
+class TestParseQuery:
+    def test_simple_query(self):
+        query = parse_query("Q(x, y) :- R(x, z), S(z, y)")
+        assert query.name == "Q"
+        assert [a.predicate for a in query.relational_body()] == ["R", "S"]
+
+    def test_peer_qualified_predicates(self):
+        query = parse_query("Q(sid) :- H:Doctor(sid, h, l, s, e)")
+        assert query.relational_body()[0].predicate == "H:Doctor"
+
+    def test_peer_names_starting_with_digits(self):
+        query = parse_query('Q(p) :- 9DC:SkilledPerson(p, "Doctor")')
+        assert query.relational_body()[0].predicate == "9DC:SkilledPerson"
+
+    def test_string_constants(self):
+        query = parse_query('Q(x) :- R(x, "Doctor")')
+        assert query.relational_body()[0].args[1] == Constant("Doctor")
+
+    def test_single_quoted_constants(self):
+        query = parse_query("Q(x) :- R(x, 'EMT')")
+        assert query.relational_body()[0].args[1] == Constant("EMT")
+
+    def test_numeric_constants(self):
+        query = parse_query("Q(x) :- R(x, 3, 2.5, -1)")
+        args = query.relational_body()[0].args
+        assert args[1:] == (Constant(3), Constant(2.5), Constant(-1))
+
+    def test_comparisons(self):
+        query = parse_query("Q(x) :- R(x, y), y < 5, x != y")
+        comparisons = query.comparison_body()
+        assert comparisons[0] == ComparisonAtom(Variable("y"), "<", Constant(5))
+        assert comparisons[1] == ComparisonAtom(Variable("x"), "!=", Variable("y"))
+
+    def test_head_constants(self):
+        query = parse_query('Q(x, "EMT") :- R(x)')
+        assert query.head.args[1] == Constant("EMT")
+
+    def test_whitespace_insensitive(self):
+        assert parse_query("Q(x):-R(x,y)") == parse_query("Q( x ) :- R( x , y )")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) R(x)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x) extra")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x :- R(x)")
+
+    def test_comparison_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("x < 5 :- R(x)")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x) & S(x)")
+
+
+class TestParseAtomAndRule:
+    def test_parse_atom(self):
+        atom = parse_atom('FS:Skill(f1, "medical")')
+        assert atom == Atom("FS:Skill", [Variable("f1"), Constant("medical")])
+
+    def test_parse_atom_rejects_comparison(self):
+        with pytest.raises(ParseError):
+            parse_atom("x < 5")
+
+    def test_parse_atom_rejects_trailing(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x), S(x)")
+
+    def test_parse_rule_returns_datalog_rule(self):
+        rule = parse_rule("T(x, y) :- E(x, y)")
+        assert rule.name == "T"
+
+
+class TestParseProgramAndUnion:
+    def test_parse_program_skips_comments_and_blanks(self):
+        program = parse_program(
+            """
+            % transitive closure
+            T(x, y) :- E(x, y)
+
+            # recursive step
+            T(x, y) :- E(x, z), T(z, y)
+            """,
+            query_predicate="T",
+        )
+        assert len(program) == 2
+        assert program.query_predicate == "T"
+
+    def test_parse_union(self):
+        union = parse_union(
+            """
+            Q(x) :- R(x)
+            Q(x) :- S(x)
+            """
+        )
+        assert len(union) == 2
+        assert union.name == "Q"
+
+    def test_parse_union_from_list(self):
+        union = parse_union(["Q(x) :- R(x)", "Q(x) :- S(x, y)"])
+        assert len(union) == 2
+
+    def test_roundtrip_through_str(self):
+        query = parse_query('Q(x, y) :- R(x, z), S(z, y), z < 5, x != "a"')
+        assert parse_query(str(query)) == query

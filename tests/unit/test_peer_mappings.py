@@ -1,0 +1,150 @@
+"""Unit tests for repro.pdms.peer and repro.pdms.mappings."""
+
+import pytest
+
+from repro.datalog import parse_atom, parse_query
+from repro.errors import MappingError, PDMSConfigurationError
+from repro.pdms import (
+    DefinitionalMapping,
+    EqualityMapping,
+    InclusionMapping,
+    Peer,
+    StorageDescription,
+    lav_style,
+    qualified_name,
+    replication,
+)
+
+
+class TestPeer:
+    def test_add_and_lookup_relations(self):
+        peer = Peer("H")
+        schema = peer.add_relation("Doctor", ["SID", "hosp", "loc", "start", "end"])
+        assert schema.name == "H:Doctor"
+        assert peer.relation("Doctor").arity == 5
+        assert peer.relation("H:Doctor").arity == 5
+        assert peer.has_relation("Doctor")
+        assert not peer.has_relation("Nurse")
+        assert peer.peer_relation_names() == ("H:Doctor",)
+
+    def test_duplicate_relation_rejected(self):
+        peer = Peer("H")
+        peer.add_relation("Doctor", ["SID"])
+        with pytest.raises(PDMSConfigurationError):
+            peer.add_relation("Doctor", ["SID"])
+
+    def test_foreign_qualification_rejected(self):
+        peer = Peer("H")
+        with pytest.raises(PDMSConfigurationError):
+            peer.add_relation("FS:Engine", ["VID"])
+
+    def test_invalid_peer_names(self):
+        with pytest.raises(PDMSConfigurationError):
+            Peer("")
+        with pytest.raises(PDMSConfigurationError):
+            Peer("A:B")
+
+    def test_stored_relations(self):
+        peer = Peer("FH")
+        stored = peer.add_stored_relation("doc", ["sid", "last", "loc"])
+        assert stored.arity == 3
+        assert stored.peer == "FH"
+        assert peer.stored_relation_names() == ("doc",)
+        with pytest.raises(PDMSConfigurationError):
+            peer.add_stored_relation("doc", ["sid"])
+        with pytest.raises(PDMSConfigurationError):
+            peer.add_stored_relation("FH:doc", ["sid"])
+
+    def test_qualified_name_helper(self):
+        assert qualified_name("H", "Doctor") == "H:Doctor"
+        assert qualified_name("H", "H:Doctor") == "H:Doctor"
+        with pytest.raises(PDMSConfigurationError):
+            qualified_name("H", "FS:Engine")
+
+
+class TestStorageDescription:
+    def test_basic_properties(self):
+        description = StorageDescription(
+            "FH", "doc",
+            parse_query("V(sid, last, loc) :- FH:Staff(sid, f, last, s, e), FH:Doctor(sid, loc)"),
+        )
+        assert description.arity == 3
+        assert not description.exact
+        assert description.references_peers() == frozenset({"FH"})
+        assert description.has_projection()
+        assert not description.has_comparisons()
+        assert description.stored_atom().predicate == "doc"
+
+    def test_qualified_stored_name_rejected(self):
+        with pytest.raises(MappingError):
+            StorageDescription("FH", "FH:doc", parse_query("V(x) :- FH:R(x)"))
+
+    def test_auto_names_are_unique(self):
+        first = StorageDescription("A", "s1", parse_query("V(x) :- A:R(x)"))
+        second = StorageDescription("A", "s2", parse_query("V(x) :- A:R(x)"))
+        assert first.name != second.name
+
+    def test_comparisons_detected(self):
+        description = StorageDescription(
+            "A", "cheap", parse_query("V(x, p) :- A:Item(x, p), p < 100"))
+        assert description.has_comparisons()
+
+
+class TestInclusionAndEqualityMappings:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(MappingError):
+            InclusionMapping(parse_query("L(x) :- A:R(x)"), parse_query("R(x, y) :- B:S(x, y)"))
+        with pytest.raises(MappingError):
+            EqualityMapping(parse_query("L(x) :- A:R(x)"), parse_query("R(x, y) :- B:S(x, y)"))
+
+    def test_left_is_single_atom_detection(self):
+        lav = lav_style(parse_atom("LH:CritBed(b, r, p, s)"),
+                        parse_query("R(b, r, p, s) :- H:CritBed(b, h, r), H:Patient(p, b, s)"))
+        assert lav.left_is_single_atom()
+        general = InclusionMapping(
+            parse_query("L(sid, f, l) :- LH:Staff(sid, f, l, c)"),
+            parse_query("R(sid, f, l) :- H:Worker(sid, f, l)"))
+        assert not general.left_is_single_atom()
+
+    def test_references_peers(self):
+        mapping = lav_style(parse_atom("LH:CritBed(b, r, p, s)"),
+                            parse_query("R(b, r, p, s) :- H:CritBed(b, h, r), H:Patient(p, b, s)"))
+        assert mapping.references_peers() == frozenset({"LH", "H"})
+
+    def test_equality_as_inclusions(self):
+        equality = replication(parse_atom("ECC:Vehicle(v, t, c, g, d)"),
+                               parse_atom("9DC:Vehicle(v, t, c, g, d)"))
+        forward, backward = equality.as_inclusions()
+        assert forward.left.predicates() == {"ECC:Vehicle"}
+        assert forward.right.predicates() == {"9DC:Vehicle"}
+        assert backward.left.predicates() == {"9DC:Vehicle"}
+        assert not equality.has_projection()
+
+    def test_replication_arity_checked(self):
+        with pytest.raises(MappingError):
+            replication(parse_atom("A:R(x)"), parse_atom("B:S(x, y)"))
+
+    def test_projection_detection_on_equality(self):
+        projecting = EqualityMapping(
+            parse_query("L(x) :- A:R(x, y)"), parse_query("R(x) :- B:S(x)"))
+        assert projecting.has_projection()
+
+    def test_comparison_detection(self):
+        mapping = InclusionMapping(
+            parse_query("L(x) :- A:R(x)"),
+            parse_query("R(x) :- B:S(x, y), y < 5"))
+        assert mapping.has_comparisons()
+
+
+class TestDefinitionalMapping:
+    def test_head_and_body_predicates(self):
+        mapping = DefinitionalMapping(parse_query(
+            "9DC:SkilledPerson(sid, \"Doctor\") :- H:Doctor(sid, h, l, s, e)"))
+        assert mapping.head_predicate == "9DC:SkilledPerson"
+        assert mapping.body_predicates() == frozenset({"H:Doctor"})
+        assert mapping.references_peers() == frozenset({"9DC", "H"})
+        assert not mapping.has_comparisons()
+
+    def test_accepts_plain_conjunctive_query(self):
+        mapping = DefinitionalMapping(parse_query("A:P(x) :- A:Q(x), x < 3"))
+        assert mapping.has_comparisons()

@@ -1,0 +1,155 @@
+"""Unit tests for the logical-plan compiler and executor."""
+
+import pytest
+
+from repro.database import Instance
+from repro.database.planner import (
+    EmptyNode,
+    JoinNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    UnionNode,
+    compile_query,
+    compile_union,
+    evaluate_query_via_plan,
+    evaluate_union_via_plan,
+    execute_plan,
+)
+from repro.datalog import evaluate_query, evaluate_union, parse_query, parse_union
+from repro.datalog.queries import UnionQuery
+from repro.errors import EvaluationError
+
+FACTS = {
+    "E": [(1, 2), (2, 3), (3, 4), (2, 2)],
+    "L": [(2, "a"), (3, "b")],
+}
+
+
+class TestCompilation:
+    def test_single_atom_plan_shape(self):
+        plan = compile_query(parse_query("Q(x, y) :- E(x, y)"), FACTS)
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, ScanNode)
+        assert plan.output_columns() == ("x", "y")
+
+    def test_join_plan_shape(self):
+        plan = compile_query(parse_query("Q(x, z) :- E(x, y), L(y, z)"), FACTS)
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, JoinNode)
+
+    def test_constants_become_scan_filters(self):
+        plan = compile_query(parse_query("Q(y) :- E(2, y)"), FACTS)
+        scan = plan.child
+        assert isinstance(scan, ScanNode)
+        assert scan.filters == ((0, 2),)
+
+    def test_repeated_variables_become_equality_filters(self):
+        plan = compile_query(parse_query("Q(x) :- E(x, x)"), FACTS)
+        scan = plan.child
+        assert isinstance(scan, ScanNode)
+        assert scan.equal_positions == ((0, 1),)
+
+    def test_comparisons_become_select_node(self):
+        plan = compile_query(parse_query("Q(x, y) :- E(x, y), y < 4"), FACTS)
+        assert isinstance(plan.child, SelectNode)
+
+    def test_empty_union_compiles_to_empty_node(self):
+        plan = compile_union(UnionQuery([], name="Q", arity=2), FACTS)
+        assert isinstance(plan, EmptyNode)
+
+    def test_union_plan(self):
+        union = parse_union(["Q(x) :- E(x, 2)", "Q(x) :- E(x, 4)"])
+        plan = compile_union(union, FACTS)
+        assert isinstance(plan, UnionNode)
+        assert len(plan.branches) == 2
+
+    def test_no_relational_atoms_rejected(self):
+        query = parse_query("Q(x) :- E(x, y)")
+        stripped = type(query)(query.head, query.relational_body())
+        object.__setattr__(stripped, "body", ())
+        with pytest.raises(EvaluationError):
+            compile_query(stripped, FACTS)
+
+    def test_explain_renders_every_operator(self):
+        plan = compile_query(parse_query("Q(x, z) :- E(x, y), L(y, z), x < 3"), FACTS)
+        rendering = plan.explain()
+        assert "Project" in rendering
+        assert "Select" in rendering
+        assert "Join" in rendering
+        assert "Scan(E)" in rendering and "Scan(L)" in rendering
+
+
+class TestExecution:
+    def test_single_atom(self):
+        assert evaluate_query_via_plan(parse_query("Q(x, y) :- E(x, y)"), FACTS) == {
+            (1, 2), (2, 3), (3, 4), (2, 2)}
+
+    def test_join(self):
+        query = parse_query("Q(x, z) :- E(x, y), L(y, z)")
+        # E(1,2)⋈L(2,a), E(2,3)⋈L(3,b), and E(2,2)⋈L(2,a).
+        assert evaluate_query_via_plan(query, FACTS) == {(1, "a"), (2, "b"), (2, "a")}
+
+    def test_constant_filter(self):
+        assert evaluate_query_via_plan(parse_query("Q(y) :- E(2, y)"), FACTS) == {(3,), (2,)}
+
+    def test_repeated_variable(self):
+        assert evaluate_query_via_plan(parse_query("Q(x) :- E(x, x)"), FACTS) == {(2,)}
+
+    def test_comparison(self):
+        query = parse_query("Q(x) :- E(x, y), y >= 3")
+        assert evaluate_query_via_plan(query, FACTS) == {(2,), (3,)}
+
+    def test_head_constants(self):
+        query = parse_query('Q(x, "edge") :- E(x, 2)')
+        assert evaluate_query_via_plan(query, FACTS) == {(1, "edge"), (2, "edge")}
+
+    def test_cross_product_when_disconnected(self):
+        query = parse_query("Q(x, z) :- E(x, 2), L(3, z)")
+        assert evaluate_query_via_plan(query, FACTS) == {(1, "b"), (2, "b")}
+
+    def test_union_execution(self):
+        union = parse_union(["Q(x) :- E(x, 2)", "Q(x) :- E(x, 4)"])
+        assert evaluate_union_via_plan(union, FACTS) == {(1,), (2,), (3,)}
+
+    def test_empty_union_executes_to_no_rows(self):
+        plan = compile_union(UnionQuery([], name="Q", arity=1), FACTS)
+        assert execute_plan(plan, FACTS).to_set() == set()
+
+    def test_instance_as_fact_source(self):
+        instance = Instance.from_dict(FACTS)
+        query = parse_query("Q(x, z) :- E(x, y), L(y, z)")
+        assert evaluate_query_via_plan(query, instance) == {(1, "a"), (2, "b"), (2, "a")}
+
+    def test_arity_mismatch_detected(self):
+        query = parse_query("Q(x) :- E(x)")
+        with pytest.raises(EvaluationError):
+            evaluate_query_via_plan(query, FACTS)
+
+
+class TestAgreementWithBacktrackingEvaluator:
+    QUERIES = [
+        "Q(x, y) :- E(x, y)",
+        "Q(x, z) :- E(x, y), E(y, z)",
+        "Q(x) :- E(x, x)",
+        "Q(x, z) :- E(x, y), L(y, z)",
+        "Q(x) :- E(x, y), y < 4",
+        "Q(y) :- E(2, y)",
+        'Q(x, "k") :- E(x, y), L(y, w)',
+        "Q(x, w) :- E(x, y), E(y, z), E(z, w)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_same_answers_as_evaluate_query(self, text):
+        query = parse_query(text)
+        assert evaluate_query_via_plan(query, FACTS) == evaluate_query(query, FACTS)
+
+    def test_same_answers_on_reformulated_union(self, figure2_pdms, figure2_query):
+        from repro.pdms import reformulate
+
+        data = {
+            "S1": [("alice", "e1", 17), ("bob", "e1", 18), ("carol", "e2", 17)],
+            "S2": [("alice", "bob"), ("carol", "dave")],
+        }
+        union = reformulate(figure2_pdms, figure2_query).union()
+        assert evaluate_union_via_plan(union, data) == evaluate_union(union, data)

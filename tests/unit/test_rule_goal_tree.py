@@ -1,0 +1,109 @@
+"""Unit tests for the rule-goal tree data structures."""
+
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.constraints import ConstraintSet
+from repro.datalog.terms import Constant, Variable
+from repro.pdms.rule_goal_tree import GoalNode, RuleGoalTree, RuleNode, TreeStatistics
+
+
+def _tiny_tree():
+    """root -> query rule -> [g1, g2]; g1 -> definitional -> [leaf]."""
+    root = GoalNode(Atom("Q", [Variable("x")]),
+                    external=frozenset({Variable("x")}))
+    query_rule = RuleNode(RuleNode.KIND_QUERY, description=None, origin="__query__",
+                          parent=root)
+    root.add_child(query_rule)
+    g1 = GoalNode(Atom("A:R", [Variable("x"), Variable("y")]), parent=query_rule, depth=1)
+    g2 = GoalNode(Atom("A:S", [Variable("y")]), parent=query_rule, depth=1)
+    query_rule.add_child(g1)
+    query_rule.add_child(g2)
+    definitional = RuleNode(RuleNode.KIND_DEFINITIONAL, description=None, origin="d1",
+                            parent=g1)
+    g1.add_child(definitional)
+    leaf = GoalNode(Atom("stored_r", [Variable("x"), Variable("y")]),
+                    parent=definitional, is_stored=True, depth=2)
+    definitional.add_child(leaf)
+    inclusion = RuleNode(RuleNode.KIND_INCLUSION, description=None, origin="i1",
+                         parent=g2, covers=frozenset({g1, g2}))
+    g2.add_child(inclusion)
+    view_goal = GoalNode(Atom("stored_v", [Variable("y")]), parent=inclusion,
+                         is_stored=True, depth=2)
+    inclusion.add_child(view_goal)
+    return RuleGoalTree(root), root, g1, g2, leaf
+
+
+class TestNodes:
+    def test_goal_node_ids_are_unique(self):
+        first = GoalNode(Atom("R", [Variable("x")]))
+        second = GoalNode(Atom("R", [Variable("x")]))
+        assert first.id != second.id
+
+    def test_siblings(self):
+        _, root, g1, g2, _ = _tiny_tree()
+        assert g1.siblings() == [g1, g2]
+        assert root.siblings() == [root]
+
+    def test_constraint_label_defaults_to_true(self):
+        node = GoalNode(Atom("R", [Variable("x")]))
+        assert node.constraint.is_trivially_true()
+
+    def test_rule_node_covers(self):
+        _, _, g1, g2, _ = _tiny_tree()
+        inclusion = g2.children[0]
+        assert inclusion.covers == frozenset({g1, g2})
+        assert "inclusion" in repr(inclusion)
+
+    def test_repr_marks_stored_leaves(self):
+        _, _, _, _, leaf = _tiny_tree()
+        assert "$" in repr(leaf)
+
+
+class TestTreeTraversal:
+    def test_goal_and_rule_node_counts(self):
+        tree, *_ = _tiny_tree()
+        stats = tree.count_nodes()
+        assert stats.goal_nodes == 5
+        assert stats.rule_nodes == 3
+        assert stats.total_nodes == 8
+        assert stats.stored_leaves == 2
+        assert stats.dead_leaves == 0
+        assert stats.max_depth == 2
+
+    def test_dead_leaf_counted(self):
+        tree, root, g1, g2, _ = _tiny_tree()
+        dead = GoalNode(Atom("A:T", [Variable("z")]), parent=g2.children[0], depth=2)
+        g2.children[0].add_child(dead)
+        stats = tree.count_nodes()
+        assert stats.dead_leaves == 1
+
+    def test_leaves_iterator(self):
+        tree, *_ = _tiny_tree()
+        leaf_predicates = {leaf.label.predicate for leaf in tree.leaves()}
+        assert leaf_predicates == {"stored_r", "stored_v"}
+
+    def test_pretty_rendering_contains_covers_and_constraints(self):
+        tree, root, g1, _, _ = _tiny_tree()
+        g1.constraint = ConstraintSet(
+            [ComparisonAtom(Variable("y"), "<", Constant(5))])
+        rendering = tree.pretty()
+        assert "covers(" in rendering
+        assert "y < 5" in rendering
+        assert "$stored_r" in rendering
+
+    def test_pretty_respects_max_depth(self):
+        tree, *_ = _tiny_tree()
+        shallow = tree.pretty(max_depth=0)
+        assert "stored_r" not in shallow
+
+    def test_statistics_preserved_counters(self):
+        tree, *_ = _tiny_tree()
+        tree.statistics.pruned_unsatisfiable = 3
+        tree.statistics.memoization_hits = 7
+        stats = tree.count_nodes()
+        assert stats.pruned_unsatisfiable == 3
+        assert stats.memoization_hits == 7
+
+    def test_tree_repr(self):
+        tree, *_ = _tiny_tree()
+        tree.count_nodes()
+        assert "RuleGoalTree(8 nodes" in repr(tree)

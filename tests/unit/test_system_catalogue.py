@@ -1,0 +1,134 @@
+"""Unit tests for repro.pdms.system (PDMS object and PPL normalisation)."""
+
+import pytest
+
+from repro.datalog import parse_atom, parse_query
+from repro.errors import MappingError, PDMSConfigurationError
+from repro.pdms import (
+    PDMS,
+    DefinitionalMapping,
+    EqualityMapping,
+    InclusionMapping,
+    Peer,
+    StorageDescription,
+    lav_style,
+    replication,
+)
+
+
+def _small_pdms() -> PDMS:
+    pdms = PDMS("small")
+    a = pdms.add_peer("A")
+    a.add_relation("R", ["x", "y"])
+    b = pdms.add_peer("B")
+    b.add_relation("S", ["x", "y"])
+    return pdms
+
+
+class TestPDMSBasics:
+    def test_add_peer_by_name_and_lookup(self):
+        pdms = PDMS()
+        peer = pdms.add_peer("X")
+        assert isinstance(peer, Peer)
+        assert pdms.peer("X") is peer
+        assert "X" in pdms
+        with pytest.raises(PDMSConfigurationError):
+            pdms.add_peer("X")
+        with pytest.raises(PDMSConfigurationError):
+            pdms.peer("Y")
+
+    def test_relation_name_registries(self):
+        pdms = _small_pdms()
+        pdms.add_storage_description(
+            StorageDescription("A", "stored_r", parse_query("V(x, y) :- A:R(x, y)")))
+        assert pdms.is_peer_relation("A:R")
+        assert not pdms.is_peer_relation("stored_r")
+        assert pdms.is_stored_relation("stored_r")
+        assert pdms.stored_relation_names() == frozenset({"stored_r"})
+
+    def test_storage_description_requires_known_peer(self):
+        pdms = _small_pdms()
+        with pytest.raises(PDMSConfigurationError):
+            pdms.add_storage_description(
+                StorageDescription("Z", "s", parse_query("V(x) :- Z:R(x)")))
+
+    def test_storage_description_autodeclares_stored_relation(self):
+        pdms = _small_pdms()
+        pdms.add_storage_description(
+            StorageDescription("A", "s", parse_query("V(x, y) :- A:R(x, y)")))
+        assert "s" in pdms.peer("A").stored_relation_names()
+
+    def test_unsupported_mapping_type_rejected(self):
+        pdms = _small_pdms()
+        with pytest.raises(MappingError):
+            pdms.add_peer_mapping("not a mapping")  # type: ignore[arg-type]
+
+    def test_describe_and_repr(self):
+        pdms = _small_pdms()
+        assert "small" in pdms.describe()
+        assert "2 peers" in repr(pdms)
+
+
+class TestNormalisation:
+    def test_definitional_mapping_kept_as_rule(self):
+        pdms = _small_pdms()
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:S(x, y)"), name="d1"))
+        catalogue = pdms.catalogue()
+        assert len(catalogue.rules) == 1
+        assert not catalogue.rules[0].synthetic
+        assert catalogue.definitional_for("A:R")[0].origin == "d1"
+
+    def test_single_atom_inclusion_needs_no_synthetic_predicate(self):
+        pdms = _small_pdms()
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:S(x, y)"), parse_query("R(x, y) :- A:R(x, y)"), name="i1"))
+        catalogue = pdms.catalogue()
+        assert len(catalogue.rules) == 0
+        assert len(catalogue.inclusions) == 1
+        inclusion = catalogue.inclusions[0]
+        assert inclusion.head_predicate == "B:S"
+        assert inclusion.body_predicates() == frozenset({"A:R"})
+        assert catalogue.inclusions_mentioning("A:R") == (inclusion,)
+
+    def test_general_inclusion_produces_synthetic_pair(self):
+        pdms = _small_pdms()
+        pdms.add_peer_mapping(InclusionMapping(
+            parse_query("L(x) :- B:S(x, y)"),
+            parse_query("R(x) :- A:R(x, z)"), name="proj"))
+        catalogue = pdms.catalogue()
+        assert len(catalogue.inclusions) == 1
+        assert len(catalogue.rules) == 1
+        assert catalogue.rules[0].synthetic
+        assert catalogue.rules[0].origin == "proj"
+        synthetic_predicate = catalogue.inclusions[0].head_predicate
+        assert synthetic_predicate.startswith("__ppl_")
+        assert catalogue.rules[0].head_predicate == synthetic_predicate
+
+    def test_equality_becomes_two_inclusions_sharing_origin(self):
+        pdms = _small_pdms()
+        pdms.add_peer_mapping(replication(
+            parse_atom("A:R(x, y)"), parse_atom("B:S(x, y)"), name="rep"))
+        catalogue = pdms.catalogue()
+        assert len(catalogue.inclusions) == 2
+        assert {i.origin for i in catalogue.inclusions} == {"rep"}
+        heads = {i.head_predicate for i in catalogue.inclusions}
+        assert heads == {"A:R", "B:S"}
+
+    def test_storage_description_becomes_stored_inclusion(self):
+        pdms = _small_pdms()
+        pdms.add_storage_description(
+            StorageDescription("A", "s", parse_query("V(x, y) :- A:R(x, y)"), name="st"))
+        catalogue = pdms.catalogue()
+        assert len(catalogue.inclusions) == 1
+        assert catalogue.inclusions[0].stored
+        assert catalogue.is_stored("s")
+
+    def test_catalogue_cache_invalidation(self):
+        pdms = _small_pdms()
+        first = pdms.catalogue()
+        pdms.add_peer_mapping(DefinitionalMapping(parse_query("A:R(x, y) :- B:S(x, y)")))
+        second = pdms.catalogue()
+        assert first is not second
+        assert len(second.rules) == 1
+        assert pdms.catalogue() is second  # cached until the next change

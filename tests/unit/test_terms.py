@@ -1,0 +1,98 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    is_constant,
+    is_variable,
+    term_from_python,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering_is_by_name(self):
+        assert Variable("a") < Variable("b")
+        assert sorted([Variable("z"), Variable("a")]) == [Variable("a"), Variable("z")]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str_and_repr(self):
+        assert str(Variable("x")) == "x"
+        assert repr(Variable("x")) == "?x"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(5) == Constant(5)
+        assert Constant("a") != Constant("b")
+
+    def test_string_constants_render_quoted(self):
+        assert str(Constant("Doctor")) == '"Doctor"'
+
+    def test_numeric_constants_render_bare(self):
+        assert str(Constant(5)) == "5"
+        assert str(Constant(2.5)) == "2.5"
+
+    def test_constant_not_equal_to_variable_of_same_text(self):
+        assert Constant("x") != Variable("x")
+
+
+class TestPredicates:
+    def test_is_variable_and_is_constant(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("x"))
+
+    def test_term_from_python_passthrough(self):
+        v = Variable("x")
+        assert term_from_python(v) is v
+
+    def test_term_from_python_wraps_scalars(self):
+        assert term_from_python("a") == Constant("a")
+        assert term_from_python(3) == Constant(3)
+        assert term_from_python(3.5) == Constant(3.5)
+
+    def test_term_from_python_rejects_bool_and_objects(self):
+        with pytest.raises(TypeError):
+            term_from_python(True)
+        with pytest.raises(TypeError):
+            term_from_python(object())
+
+
+class TestFreshVariableFactory:
+    def test_fresh_variables_are_distinct(self):
+        fresh = FreshVariableFactory()
+        produced = {fresh() for _ in range(50)}
+        assert len(produced) == 50
+
+    def test_reserved_names_are_avoided(self):
+        fresh = FreshVariableFactory(prefix="v")
+        fresh.reserve(["v0", "v1"])
+        assert fresh().name == "v2"
+
+    def test_reserve_from_terms(self):
+        fresh = FreshVariableFactory(prefix="x")
+        fresh.reserve_from_terms([Variable("x0"), Constant("x1")])
+        assert fresh().name == "x1"  # constants do not reserve names
+
+    def test_hint_is_used_as_stem(self):
+        fresh = FreshVariableFactory()
+        assert fresh("skill_").name.startswith("skill_")
+
+    def test_fresh_many(self):
+        fresh = FreshVariableFactory()
+        batch = fresh.fresh_many(5)
+        assert len(set(batch)) == 5

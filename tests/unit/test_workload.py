@@ -1,0 +1,143 @@
+"""Unit tests for the workload generator, data population, and scenarios."""
+
+import pytest
+
+from repro.errors import PDMSConfigurationError
+from repro.pdms import analyze_pdms, reformulate
+from repro.pdms.mappings import DefinitionalMapping, InclusionMapping
+from repro.workload import (
+    GeneratorParameters,
+    add_earthquake_command_center,
+    build_emergency_services,
+    example_queries,
+    generate_runs,
+    generate_workload,
+    populate_workload,
+    sample_instance,
+)
+
+
+class TestGeneratorParameters:
+    def test_validation(self):
+        with pytest.raises(PDMSConfigurationError):
+            GeneratorParameters(num_peers=2, diameter=5).validate()
+        with pytest.raises(PDMSConfigurationError):
+            GeneratorParameters(diameter=0).validate()
+        with pytest.raises(PDMSConfigurationError):
+            GeneratorParameters(definitional_ratio=1.5).validate()
+        with pytest.raises(PDMSConfigurationError):
+            GeneratorParameters(relations_per_peer=0).validate()
+        GeneratorParameters().validate()
+
+
+class TestGenerateWorkload:
+    def test_peer_and_stratum_counts(self):
+        params = GeneratorParameters(num_peers=10, diameter=3, seed=7)
+        workload = generate_workload(params)
+        assert len(workload.pdms.peers()) == 10
+        assert workload.diameter == 3
+        assert sum(len(s) for s in workload.strata) == 10 * params.relations_per_peer
+
+    def test_reproducible_with_same_seed(self):
+        params = GeneratorParameters(num_peers=12, diameter=3, seed=42)
+        first = generate_workload(params)
+        second = generate_workload(params)
+        assert str(first.query) == str(second.query)
+        assert len(first.pdms.peer_mappings()) == len(second.pdms.peer_mappings())
+
+    def test_different_seeds_differ(self):
+        first = generate_workload(GeneratorParameters(num_peers=24, diameter=4, seed=1))
+        second = generate_workload(GeneratorParameters(num_peers=24, diameter=4, seed=2))
+        assert str(first.query) != str(second.query) or (
+            [str(m) for m in first.pdms.peer_mappings()]
+            != [str(m) for m in second.pdms.peer_mappings()]
+        )
+
+    def test_definitional_ratio_zero_and_one(self):
+        none_def = generate_workload(
+            GeneratorParameters(num_peers=12, diameter=3, definitional_ratio=0.0, seed=1))
+        all_def = generate_workload(
+            GeneratorParameters(num_peers=12, diameter=3, definitional_ratio=1.0, seed=1))
+        assert all(
+            isinstance(m, InclusionMapping) for m in none_def.pdms.peer_mappings())
+        assert all(
+            isinstance(m, DefinitionalMapping) for m in all_def.pdms.peer_mappings())
+
+    def test_bottom_stratum_has_storage(self):
+        workload = generate_workload(GeneratorParameters(num_peers=9, diameter=3, seed=0))
+        assert len(workload.stored_relations) == len(workload.strata[-1])
+        assert workload.pdms.stored_relation_names() == frozenset(workload.stored_relations)
+
+    def test_query_over_top_stratum(self):
+        workload = generate_workload(GeneratorParameters(num_peers=9, diameter=3, seed=0))
+        top = set(workload.strata[0])
+        assert workload.query.predicates() <= top
+
+    def test_query_is_reformulable(self):
+        workload = generate_workload(
+            GeneratorParameters(num_peers=12, diameter=3, definitional_ratio=0.25, seed=3))
+        result = reformulate(workload.pdms, workload.query)
+        assert result.statistics.total_nodes > 4
+
+    def test_tree_grows_with_diameter(self):
+        sizes = []
+        for diameter in (2, 3, 4):
+            workload = generate_workload(
+                GeneratorParameters(num_peers=24, diameter=diameter, seed=11))
+            sizes.append(
+                reformulate(workload.pdms, workload.query).statistics.total_nodes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_generate_runs_varies_seed(self):
+        runs = generate_runs(GeneratorParameters(num_peers=9, diameter=3, seed=5), 3)
+        assert len(runs) == 3
+        assert {w.parameters.seed for w in runs} == {5, 6, 7}
+
+    def test_generated_pdms_is_inclusion_acyclic_without_equalities(self):
+        workload = generate_workload(
+            GeneratorParameters(num_peers=12, diameter=3, definitional_ratio=0.0, seed=2))
+        assert analyze_pdms(workload.pdms).inclusion_graph_acyclic
+
+
+class TestDataPopulation:
+    def test_populate_workload(self):
+        workload = generate_workload(GeneratorParameters(num_peers=9, diameter=3, seed=0))
+        instance = populate_workload(workload, rows_per_relation=5, domain_size=4)
+        for stored in workload.stored_relations:
+            assert 1 <= instance.cardinality(stored) <= 5
+        assert all(
+            value in range(4) for value in instance.active_domain())
+
+    def test_population_is_reproducible(self):
+        workload = generate_workload(GeneratorParameters(num_peers=9, diameter=3, seed=0))
+        assert populate_workload(workload) == populate_workload(workload)
+
+
+class TestEmergencyScenario:
+    def test_peers_of_figure_1_present(self):
+        pdms = build_emergency_services(include_ecc=False)
+        names = {peer.name for peer in pdms.peers()}
+        assert {"9DC", "H", "FS", "FH", "LH", "PFD", "VFD"} <= names
+        assert "ECC" not in names
+
+    def test_ecc_joins_ad_hoc(self):
+        pdms = build_emergency_services(include_ecc=False)
+        before = len(pdms.peer_mappings())
+        add_earthquake_command_center(pdms)
+        assert "ECC" in pdms
+        assert len(pdms.peer_mappings()) > before
+
+    def test_sample_instance_covers_every_stored_relation(self):
+        pdms = build_emergency_services()
+        data = sample_instance()
+        missing = [
+            name for name in pdms.stored_relation_names()
+            if data.cardinality(name) == 0
+        ]
+        assert missing == []
+
+    def test_example_queries_parse_against_known_relations(self):
+        pdms = build_emergency_services()
+        peer_relations = pdms.peer_relation_names()
+        for query in example_queries().values():
+            assert query.predicates() <= peer_relations
