@@ -1,0 +1,138 @@
+"""Evaluation-throughput benchmarks for the indexed join engine.
+
+Two families of cases back the ROADMAP's "fast as the hardware allows"
+goal on the evaluation side of the system:
+
+* single conjunctive-query join evaluation (the certain-answer oracle's
+  and the execution engine's hot path) on chain joins over synthetic
+  binary relations, and
+* datalog fixpoint evaluation (transitive closure, the shape the
+  inverse-rules baseline materialises) on random graphs.
+
+Besides the pytest-benchmark stats, the module writes a
+``BENCH_eval.json`` baseline next to this file so future PRs can track
+the throughput trajectory.  Set ``EVAL_BENCH_QUICK=1`` for a smoke run
+with reduced sizes (used by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from pathlib import Path
+from typing import Dict, Set, Tuple
+
+import pytest
+
+from repro.datalog.evaluation import evaluate_program_query, evaluate_query
+from repro.datalog.parser import parse_program, parse_query
+
+QUICK = os.environ.get("EVAL_BENCH_QUICK") == "1"
+
+#: (rows per relation, distinct values) for the chain-join cases.
+JOIN_CASES = {
+    "small": (200, 80),
+    "large": (2000, 600) if not QUICK else (400, 150),
+}
+
+#: (nodes, edges) for the transitive-closure cases.
+TC_CASES = {
+    "small": (60, 120),
+    "large": (220, 440) if not QUICK else (80, 160),
+}
+
+CHAIN_QUERY = parse_query(
+    "Q(a, e) :- R0(a, b), R1(b, c), R2(c, d), R3(d, e)"
+)
+
+TC_PROGRAM = parse_program(
+    """
+    T(x, y) :- E(x, y)
+    T(x, y) :- E(x, z), T(z, y)
+    """,
+    query_predicate="T",
+)
+
+
+def make_chain_relations(rows: int, values: int, seed: int) -> Dict[str, Set[Tuple[int, int]]]:
+    rng = random.Random(seed)
+    return {
+        f"R{i}": {
+            (rng.randrange(values), rng.randrange(values)) for _ in range(rows)
+        }
+        for i in range(4)
+    }
+
+
+def make_graph(nodes: int, edges: int, seed: int) -> Dict[str, Set[Tuple[int, int]]]:
+    rng = random.Random(seed)
+    return {
+        "E": {
+            (rng.randrange(nodes), rng.randrange(nodes)) for _ in range(edges)
+        }
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline_recorder():
+    """Collect per-case mean runtimes; write BENCH_eval.json when asked to.
+
+    The committed baseline is only refreshed when ``EVAL_BENCH_RECORD=1``,
+    so ordinary test runs (whose numbers are machine- and mode-specific)
+    don't dirty the working tree.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    yield results
+    if os.environ.get("EVAL_BENCH_RECORD") != "1":
+        return
+    path = Path(__file__).resolve().parent / "BENCH_eval.json"
+    payload = {
+        "quick_mode": QUICK,
+        "cases": results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record(recorder, benchmark, name: str, extra: Dict[str, float]) -> None:
+    stats = benchmark.stats.stats
+    recorder[name] = {
+        "mean_seconds": stats.mean,
+        "min_seconds": stats.min,
+        "rounds": stats.rounds,
+        **extra,
+    }
+
+
+@pytest.mark.parametrize("size", sorted(JOIN_CASES))
+def test_cq_chain_join(benchmark, baseline_recorder, size):
+    rows, values = JOIN_CASES[size]
+    facts = make_chain_relations(rows, values, seed=7)
+
+    answers = benchmark(lambda: evaluate_query(CHAIN_QUERY, facts))
+    benchmark.extra_info["rows_per_relation"] = rows
+    benchmark.extra_info["answers"] = len(answers)
+    _record(
+        baseline_recorder,
+        benchmark,
+        f"cq_chain_join_{size}",
+        {"rows_per_relation": rows, "answers": len(answers)},
+    )
+    assert answers  # the generated instance always joins somewhere
+
+
+@pytest.mark.parametrize("size", sorted(TC_CASES))
+def test_datalog_transitive_closure(benchmark, baseline_recorder, size):
+    nodes, edges = TC_CASES[size]
+    facts = make_graph(nodes, edges, seed=11)
+
+    closure = benchmark(lambda: evaluate_program_query(TC_PROGRAM, facts))
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["closure_size"] = len(closure)
+    _record(
+        baseline_recorder,
+        benchmark,
+        f"datalog_tc_{size}",
+        {"nodes": nodes, "edges": edges, "closure_size": len(closure)},
+    )
+    assert closure

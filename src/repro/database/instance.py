@@ -1,18 +1,24 @@
 """In-memory database instances.
 
 An :class:`Instance` stores, for each relation name, a set of rows
-(tuples of plain Python values).  It implements the
-:class:`repro.datalog.evaluation.FactSource` protocol so queries and
-datalog programs can be evaluated over it directly, and it is the storage
-substrate behind every peer's stored relations in the PDMS.
+(tuples of plain Python values) wrapped in a
+:class:`repro.datalog.indexing.PredicateIndex`.  It implements both the
+:class:`repro.datalog.evaluation.FactSource` protocol and the indexed
+extension (``get_matching``), so query and datalog evaluation probe hash
+indexes on bound argument positions instead of scanning whole relations.
+Indexes are built lazily per (relation, position-set) on the first probe
+and maintained incrementally across inserts — important for the chase
+oracle, which interleaves inserts with many query evaluations over the
+same growing instance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
+from ..datalog.indexing import Pattern, PredicateIndex
 from ..errors import InstanceError, SchemaError
-from .schema import DatabaseSchema, RelationSchema
+from .schema import DatabaseSchema
 
 Row = Tuple[object, ...]
 
@@ -30,18 +36,24 @@ class Instance:
 
     def __init__(self, schema: Optional[DatabaseSchema] = None):
         self._schema = schema
-        self._relations: Dict[str, Set[Row]] = {}
+        self._relations: Dict[str, PredicateIndex] = {}
         self._arities: Dict[str, int] = {}
         if schema is not None:
             for relation in schema:
-                self._relations[relation.name] = set()
+                self._relations[relation.name] = PredicateIndex()
                 self._arities[relation.name] = relation.arity
 
     # -- FactSource protocol ---------------------------------------------------
 
     def get_tuples(self, predicate: str) -> Iterable[Row]:
         """Return the rows stored for ``predicate`` (empty if unknown)."""
-        return self._relations.get(predicate, set())
+        index = self._relations.get(predicate)
+        return index.rows() if index is not None else set()
+
+    def get_matching(self, predicate: str, pattern: Pattern) -> Iterable[Row]:
+        """Rows of ``predicate`` matching ``pattern`` (see :mod:`repro.datalog.indexing`)."""
+        index = self._relations.get(predicate)
+        return index.matching(pattern) if index is not None else ()
 
     # -- mutation ----------------------------------------------------------------
 
@@ -68,7 +80,10 @@ class Instance:
                     f"relation {relation} has arity {known_arity} but got a row "
                     f"of width {len(values)}"
                 )
-        self._relations.setdefault(relation, set()).add(values)
+        index = self._relations.get(relation)
+        if index is None:
+            index = self._relations[relation] = PredicateIndex()
+        index.add(values)
 
     def add_all(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
         """Insert many rows into ``relation``."""
@@ -79,15 +94,14 @@ class Instance:
         """Remove a row; raises :class:`InstanceError` if it is not present."""
         values = tuple(row)
         stored = self._relations.get(relation)
-        if stored is None or values not in stored:
+        if stored is None or not stored.discard(values):
             raise InstanceError(f"row {values} is not in relation {relation}")
-        stored.remove(values)
 
     def clear(self, relation: Optional[str] = None) -> None:
         """Remove all rows of ``relation``, or of every relation if ``None``."""
         if relation is None:
-            for rows in self._relations.values():
-                rows.clear()
+            for index in self._relations.values():
+                index.clear()
         elif relation in self._relations:
             self._relations[relation].clear()
 
@@ -104,17 +118,18 @@ class Instance:
 
     def cardinality(self, relation: str) -> int:
         """Number of rows in ``relation``."""
-        return len(self._relations.get(relation, ()))
+        index = self._relations.get(relation)
+        return len(index) if index is not None else 0
 
     def total_rows(self) -> int:
         """Total number of rows across all relations."""
-        return sum(len(rows) for rows in self._relations.values())
+        return sum(len(index) for index in self._relations.values())
 
     def active_domain(self) -> Set[object]:
         """All values occurring anywhere in the instance."""
         domain: Set[object] = set()
-        for rows in self._relations.values():
-            for row in rows:
+        for index in self._relations.values():
+            for row in index.rows():
                 domain.update(row)
         return domain
 
@@ -124,8 +139,8 @@ class Instance:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instance):
             return NotImplemented
-        mine = {name: rows for name, rows in self._relations.items() if rows}
-        theirs = {name: rows for name, rows in other._relations.items() if rows}
+        mine = {name: set(index.rows()) for name, index in self._relations.items() if index}
+        theirs = {name: set(index.rows()) for name, index in other._relations.items() if index}
         return mine == theirs
 
     def __hash__(self) -> int:  # pragma: no cover - instances are mutable
@@ -135,21 +150,21 @@ class Instance:
 
     def as_dict(self) -> Dict[str, Set[Row]]:
         """Return a copy of the underlying relation->rows mapping."""
-        return {name: set(rows) for name, rows in self._relations.items()}
+        return {name: set(index.rows()) for name, index in self._relations.items()}
 
     def copy(self) -> "Instance":
         """Return a deep copy of the instance (schema object is shared)."""
         clone = Instance(self._schema)
-        for name, rows in self._relations.items():
-            clone._relations[name] = set(rows)
+        for name, index in self._relations.items():
+            clone._relations[name] = PredicateIndex(index.rows())
             clone._arities[name] = self._arities.get(name, 0)
         return clone
 
     def merge(self, other: "Instance") -> "Instance":
         """Return a new instance holding the union of both instances' rows."""
         merged = self.copy()
-        for name, rows in other._relations.items():
-            for row in rows:
+        for name, index in other._relations.items():
+            for row in index.rows():
                 merged.add(name, row)
         return merged
 
@@ -168,8 +183,7 @@ class Instance:
     def __str__(self) -> str:
         lines = []
         for name in sorted(self._relations):
-            rows = self._relations[name]
-            lines.append(f"{name}: {len(rows)} rows")
+            lines.append(f"{name}: {len(self._relations[name])} rows")
         return "\n".join(lines) if lines else "(empty instance)"
 
     def __repr__(self) -> str:

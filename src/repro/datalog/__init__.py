@@ -18,6 +18,7 @@ from .containment import (
 )
 from .evaluation import evaluate_program, evaluate_program_query, evaluate_query, evaluate_union
 from .homomorphism import find_homomorphism, find_homomorphisms, has_homomorphism
+from .indexing import WILDCARD, IndexedFactSource, PredicateIndex
 from .minimize import is_minimal, minimize
 from .parser import parse_atom, parse_program, parse_query, parse_rule, parse_union
 from .queries import (
@@ -40,10 +41,13 @@ __all__ = [
     "DatalogProgram",
     "DatalogRule",
     "FreshVariableFactory",
+    "IndexedFactSource",
+    "PredicateIndex",
     "Substitution",
     "Term",
     "UnionQuery",
     "Variable",
+    "WILDCARD",
     "are_equivalent",
     "containment_mapping",
     "evaluate_program",

@@ -78,6 +78,13 @@ class Atom:
         )
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "args", coerced)
+        # Atoms are hashed heavily (MCD memoization, homomorphism indexes,
+        # unification tables); term hashes are themselves cached, so this
+        # one-off tuple hash is cheap.
+        object.__setattr__(self, "_hash", hash((predicate, coerced)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def arity(self) -> int:
@@ -145,6 +152,10 @@ class ComparisonAtom:
         object.__setattr__(self, "left", _coerce(left))
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "right", _coerce(right))
+        object.__setattr__(self, "_hash", hash((self.left, op, self.right)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def variables(self) -> Iterator[Variable]:
         """Yield the variables occurring in the comparison."""

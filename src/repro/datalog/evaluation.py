@@ -6,21 +6,54 @@ predicate names to collections of tuples, or an object exposing
 :class:`repro.database.instance.Instance` class does).  Results are sets of
 Python tuples of plain values (the values held by :class:`Constant`).
 
-Conjunctive queries are evaluated by backtracking joins with the same
-most-constrained-first atom ordering used for homomorphism search.
-Datalog programs are evaluated with semi-naive fixpoint iteration, which
-is what the PDMS needs to materialise definitional mappings and what the
-inverse-rules baseline needs.
+Conjunctive queries are compiled to *join plans*: the body's relational
+atoms are ordered most-constrained-first (the same heuristic used for
+homomorphism search) and each atom becomes a step that probes a hash index
+on the argument positions already bound at that point — constants in the
+atom plus variables bound by earlier steps — instead of scanning the whole
+relation.  Sources that implement the
+:class:`repro.datalog.indexing.IndexedFactSource` protocol (``Instance``,
+the internal mapping/layered sources) answer those probes from maintained
+indexes; any other source is snapshotted into one per evaluation call.
+The backtracking itself binds into a single mutable binding dictionary
+with trail-based undo, so no per-candidate-row copies are made.
+
+Datalog programs are evaluated with true semi-naive fixpoint iteration:
+for every rule and every IDB atom occurrence in its body, a *delta plan*
+joins that occurrence against the previous round's newly derived tuples
+and the remaining atoms against the full (EDB + IDB) relations.  Rules
+whose bodies touch no IDB predicate fire once, in the naive seeding round.
+See ``docs/evaluation.md`` for the architecture notes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Protocol, Sequence, Set, Tuple, Union
+from itertools import chain
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..errors import EvaluationError
 from .atoms import Atom, BodyAtom, ComparisonAtom, compare_values
+from .indexing import (
+    WILDCARD,
+    IndexedFactSource,
+    Pattern,
+    PredicateIndex,
+    ensure_indexed,
+)
 from .queries import ConjunctiveQuery, DatalogProgram, UnionQuery
-from .terms import Constant, Term, Variable, is_variable
+from .terms import Constant, Variable, is_variable
 
 #: A row of plain Python values.
 Row = Tuple[object, ...]
@@ -37,13 +70,20 @@ FactsLike = Union[FactSource, Mapping[str, Iterable[Row]]]
 
 
 class _MappingFacts:
-    """Adapter presenting a plain mapping as a :class:`FactSource`."""
+    """Adapter presenting a plain mapping as an indexed fact source."""
 
     def __init__(self, mapping: Mapping[str, Iterable[Row]]):
-        self._mapping = {name: set(map(tuple, rows)) for name, rows in mapping.items()}
+        self._indexes = {
+            name: PredicateIndex(map(tuple, rows)) for name, rows in mapping.items()
+        }
 
     def get_tuples(self, predicate: str) -> Iterable[Row]:
-        return self._mapping.get(predicate, ())
+        index = self._indexes.get(predicate)
+        return index.rows() if index is not None else ()
+
+    def get_matching(self, predicate: str, pattern: Pattern) -> Iterable[Row]:
+        index = self._indexes.get(predicate)
+        return index.matching(pattern) if index is not None else ()
 
 
 def as_fact_source(facts: FactsLike) -> FactSource:
@@ -56,16 +96,32 @@ def as_fact_source(facts: FactsLike) -> FactSource:
 
 
 # ---------------------------------------------------------------------------
-# Conjunctive-query evaluation
+# Join-plan compilation
 # ---------------------------------------------------------------------------
 
-def _order_body(body: Sequence[Atom]) -> List[Atom]:
-    """Order relational atoms most-constrained-first for the join search."""
+def _order_body(
+    body: Sequence[Tuple[int, Atom]], first: Optional[int] = None
+) -> List[Tuple[int, Atom]]:
+    """Order relational atoms most-constrained-first for the join search.
+
+    ``body`` pairs each atom with its occurrence id (position among the
+    body's relational atoms).  When ``first`` names an occurrence, that
+    atom is forced to the front — delta plans start from the (small) delta
+    relation — and the heuristic orders the rest around it.
+    """
     remaining = list(body)
-    ordered: List[Atom] = []
+    ordered: List[Tuple[int, Atom]] = []
     bound: set[Variable] = set()
+    if first is not None:
+        for pair in remaining:
+            if pair[0] == first:
+                remaining.remove(pair)
+                ordered.append(pair)
+                bound.update(pair[1].variable_set())
+                break
     while remaining:
-        def score(atom: Atom) -> Tuple[int, int]:
+        def score(pair: Tuple[int, Atom]) -> Tuple[int, int]:
+            atom = pair[1]
             consts = sum(1 for a in atom.args if not is_variable(a))
             shared = sum(1 for a in atom.args if is_variable(a) and a in bound)
             return (shared + consts, consts)
@@ -73,95 +129,199 @@ def _order_body(body: Sequence[Atom]) -> List[Atom]:
         best = max(remaining, key=score)
         remaining.remove(best)
         ordered.append(best)
-        bound.update(best.variable_set())
+        bound.update(best[1].variable_set())
     return ordered
 
 
-def _bindings(
-    body: Sequence[BodyAtom], facts: FactSource
-) -> Iterator[Dict[Variable, object]]:
-    """Yield every assignment of body variables satisfying the body."""
-    relational = [a for a in body if isinstance(a, Atom)]
-    comparisons = [a for a in body if isinstance(a, ComparisonAtom)]
-    ordered = _order_body(relational)
+#: A compiled comparison: a predicate over the (mutable) binding dict.
+_CompiledComparison = Callable[[Dict[Variable, object]], bool]
 
-    def comparison_ready(comp: ComparisonAtom, binding: Mapping[Variable, object]) -> bool:
-        return all(v in binding for v in comp.variables())
 
-    def comparison_holds(comp: ComparisonAtom, binding: Mapping[Variable, object]) -> bool:
-        def value(term: Term) -> object:
-            if isinstance(term, Constant):
-                return term.value
-            return binding[term]  # type: ignore[index]
+def _compile_comparison(comp: ComparisonAtom) -> _CompiledComparison:
+    left, op, right = comp.left, comp.op, comp.right
+    if is_variable(left) and is_variable(right):
+        return lambda b: compare_values(b[left], op, b[right])
+    if is_variable(left):
+        rv = right.value  # type: ignore[union-attr]
+        return lambda b: compare_values(b[left], op, rv)
+    lv = left.value  # type: ignore[union-attr]
+    return lambda b: compare_values(lv, op, b[right])
 
-        return compare_values(value(comp.left), comp.op, value(comp.right))
 
-    def backtrack(index: int, binding: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
-        # Apply any comparison whose variables are all bound; prune eagerly.
-        for comp in comparisons:
-            if comparison_ready(comp, binding) and not comparison_holds(comp, binding):
-                return
-        if index == len(ordered):
-            yield dict(binding)
-            return
-        atom = ordered[index]
-        for row in facts.get_tuples(atom.predicate):
-            if len(row) != atom.arity:
-                raise EvaluationError(
-                    f"arity mismatch: relation {atom.predicate} holds a row of "
-                    f"width {len(row)} but the atom has arity {atom.arity}"
-                )
-            extended = dict(binding)
-            ok = True
-            for arg, value in zip(atom.args, row):
-                if is_variable(arg):
-                    existing = extended.get(arg)  # type: ignore[arg-type]
-                    if existing is None and arg not in extended:
-                        extended[arg] = value  # type: ignore[index]
-                    elif existing != value:
-                        ok = False
-                        break
+class _Step:
+    """One compiled join step: probe a relation, bind new variables."""
+
+    __slots__ = (
+        "occurrence",
+        "predicate",
+        "arity",
+        "base_pattern",
+        "var_probe",
+        "intra_checks",
+        "bind_ops",
+        "comparisons",
+    )
+
+    def __init__(self, occurrence: int, atom: Atom, bound_before: set[Variable]):
+        self.occurrence = occurrence
+        self.predicate = atom.predicate
+        self.arity = atom.arity
+        pattern: List[object] = [WILDCARD] * atom.arity
+        var_probe: List[Tuple[int, Variable]] = []
+        intra_checks: List[Tuple[int, int]] = []
+        bind_ops: List[Tuple[int, Variable]] = []
+        first_position: Dict[Variable, int] = {}
+        for pos, arg in enumerate(atom.args):
+            if is_variable(arg):
+                if arg in bound_before:
+                    var_probe.append((pos, arg))  # probe on the runtime value
+                elif arg in first_position:
+                    intra_checks.append((pos, first_position[arg]))
                 else:
-                    assert isinstance(arg, Constant)
-                    if arg.value != value:
-                        ok = False
-                        break
-            if ok:
-                yield from backtrack(index + 1, extended)
+                    first_position[arg] = pos
+                    bind_ops.append((pos, arg))
+            else:
+                assert isinstance(arg, Constant)
+                pattern[pos] = arg.value
+        self.base_pattern: Pattern = tuple(pattern)
+        self.var_probe = tuple(var_probe)
+        self.intra_checks = tuple(intra_checks)
+        self.bind_ops = tuple(bind_ops)
+        self.comparisons: Tuple[_CompiledComparison, ...] = ()
 
-    if not ordered:
-        # A body with no relational atoms (only possible for ground heads).
+
+class _JoinPlan:
+    """A compiled conjunctive body plus head projection.
+
+    ``delta_occurrence`` (set at compile time) marks one relational-atom
+    occurrence whose tuples are read from a caller-supplied delta index
+    instead of the fact source — the building block of semi-naive datalog
+    evaluation.
+    """
+
+    __slots__ = ("steps", "head_ops", "always_false", "delta_occurrence")
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Sequence[BodyAtom],
+        delta_occurrence: Optional[int] = None,
+    ):
+        relational = [a for a in body if isinstance(a, Atom)]
+        comparisons = [a for a in body if isinstance(a, ComparisonAtom)]
+        self.delta_occurrence = delta_occurrence
+        ordered = _order_body(list(enumerate(relational)), first=delta_occurrence)
+
+        # Ground comparisons decide the plan's fate at compile time.
+        self.always_false = any(
+            c.is_ground() and not c.evaluate_ground() for c in comparisons
+        )
+        pending = [c for c in comparisons if not c.is_ground()]
+
+        steps: List[_Step] = []
+        bound: set[Variable] = set()
+        for occurrence, atom in ordered:
+            step = _Step(occurrence, atom, bound)
+            bound.update(atom.variable_set())
+            # Attach every comparison that has just become fully bound, so
+            # the search prunes at the earliest possible step.
+            ready = [c for c in pending if c.variable_set() <= bound]
+            if ready:
+                step.comparisons = tuple(_compile_comparison(c) for c in ready)
+                pending = [c for c in pending if not (c.variable_set() <= bound)]
+            steps.append(step)
+        self.steps: Tuple[_Step, ...] = tuple(steps)
+
+        head_ops: List[Tuple[bool, object]] = []
+        for arg in head.args:
+            if is_variable(arg):
+                head_ops.append((True, arg))
+            else:
+                assert isinstance(arg, Constant)
+                head_ops.append((False, arg.value))
+        self.head_ops: Tuple[Tuple[bool, object], ...] = tuple(head_ops)
+
+    def execute(
+        self,
+        source: IndexedFactSource,
+        out: Set[Row],
+        delta_index: Optional[PredicateIndex] = None,
+    ) -> None:
+        """Run the plan over ``source``, adding projected head rows to ``out``."""
+        if self.always_false:
+            return
+        steps = self.steps
+        nsteps = len(steps)
+        head_ops = self.head_ops
         binding: Dict[Variable, object] = {}
-        if all(
-            comparison_holds(c, binding) for c in comparisons if comparison_ready(c, binding)
-        ):
-            yield binding
-        return
-    yield from backtrack(0, {})
+        delta_occurrence = self.delta_occurrence
+
+        def run(i: int) -> None:
+            if i == nsteps:
+                out.add(
+                    tuple(binding[v] if is_var else v for is_var, v in head_ops)
+                )
+                return
+            step = steps[i]
+            if step.var_probe:
+                filled = list(step.base_pattern)
+                for pos, var in step.var_probe:
+                    filled[pos] = binding[var]
+                pattern: Pattern = tuple(filled)
+            else:
+                pattern = step.base_pattern
+            try:
+                if delta_index is not None and step.occurrence == delta_occurrence:
+                    rows = delta_index.matching(pattern)
+                else:
+                    rows = source.get_matching(step.predicate, pattern)
+            except ValueError as exc:
+                # An index build hit a row narrower than a probed position.
+                raise EvaluationError(
+                    f"arity mismatch: relation {step.predicate} {exc}"
+                ) from exc
+            arity = step.arity
+            intra_checks = step.intra_checks
+            bind_ops = step.bind_ops
+            comparisons = step.comparisons
+            for row in rows:
+                if len(row) != arity:
+                    raise EvaluationError(
+                        f"arity mismatch: relation {step.predicate} holds a row "
+                        f"of width {len(row)} but the atom has arity {arity}"
+                    )
+                if intra_checks and any(
+                    row[pos] != row[earlier] for pos, earlier in intra_checks
+                ):
+                    continue
+                for pos, var in bind_ops:
+                    binding[var] = row[pos]
+                if not comparisons or all(c(binding) for c in comparisons):
+                    run(i + 1)
+                for _, var in bind_ops:
+                    del binding[var]
+
+        run(0)
+
+
+def _compile_query(query: ConjunctiveQuery) -> _JoinPlan:
+    return _JoinPlan(query.head, query.body)
 
 
 def evaluate_query(query: ConjunctiveQuery, facts: FactsLike) -> Set[Row]:
     """Evaluate a conjunctive query over ``facts`` and return the answer set."""
-    source = as_fact_source(facts)
+    source = ensure_indexed(as_fact_source(facts))
     answers: Set[Row] = set()
-    for binding in _bindings(query.body, source):
-        row: List[object] = []
-        for arg in query.head.args:
-            if is_variable(arg):
-                row.append(binding[arg])  # type: ignore[index]
-            else:
-                assert isinstance(arg, Constant)
-                row.append(arg.value)
-        answers.add(tuple(row))
+    _compile_query(query).execute(source, answers)
     return answers
 
 
 def evaluate_union(union: UnionQuery, facts: FactsLike) -> Set[Row]:
     """Evaluate a union of conjunctive queries (set semantics)."""
-    source = as_fact_source(facts)
+    source = ensure_indexed(as_fact_source(facts))
     answers: Set[Row] = set()
     for disjunct in union:
-        answers |= evaluate_query(disjunct, source)
+        _compile_query(disjunct).execute(source, answers)
     return answers
 
 
@@ -170,18 +330,59 @@ def evaluate_union(union: UnionQuery, facts: FactsLike) -> Set[Row]:
 # ---------------------------------------------------------------------------
 
 class _LayeredFacts:
-    """Fact source that overlays derived IDB facts on top of EDB facts."""
+    """Fact source overlaying live IDB indexes on top of EDB facts.
 
-    def __init__(self, base: FactSource, derived: Mapping[str, Set[Row]]):
-        self._base = base
-        self._derived = derived
+    ``derived`` maps IDB predicate names to :class:`PredicateIndex`
+    objects that the fixpoint loop mutates in place; the overlay sees new
+    tuples immediately and keeps serving index probes without rebuilding.
+    Full scans (``get_tuples``) merge base and derived rows into a fresh
+    set, cached per predicate and invalidated via the index's version
+    counter — callers never receive (and so can never corrupt) internal
+    state by reference.
+    """
+
+    def __init__(
+        self,
+        base: FactSource,
+        derived: Mapping[str, Union[PredicateIndex, Iterable[Row]]],
+    ):
+        self._base = ensure_indexed(base)
+        self._idb: Dict[str, PredicateIndex] = {
+            name: rows if isinstance(rows, PredicateIndex) else PredicateIndex(rows)
+            for name, rows in derived.items()
+        }
+        self._scan_cache: Dict[str, Tuple[int, frozenset]] = {}
 
     def get_tuples(self, predicate: str) -> Iterable[Row]:
-        derived = self._derived.get(predicate, set())
-        base = list(self._base.get_tuples(predicate))
+        index = self._idb.get(predicate)
+        if index is None or not index:
+            return self._base.get_tuples(predicate)
+        cached = self._scan_cache.get(predicate)
+        if cached is not None and cached[0] == index.version:
+            return cached[1]
+        merged = frozenset(self._base.get_tuples(predicate)) | set(index.rows())
+        self._scan_cache[predicate] = (index.version, merged)
+        return merged
+
+    def get_matching(self, predicate: str, pattern: Pattern) -> Iterable[Row]:
+        index = self._idb.get(predicate)
+        base = self._base.get_matching(predicate, pattern)
+        if index is None or not index:
+            return base
+        derived = index.matching(pattern)
         if not base:
             return derived
-        return set(base) | derived
+        # A row present in both layers is yielded twice; set semantics
+        # upstream absorbs the duplicate.
+        return chain(base, derived)
+
+
+def _idb_add(index: PredicateIndex, name: str, row: Row) -> None:
+    """Add a derived row to an IDB index, mapping width clashes to EvaluationError."""
+    try:
+        index.add(row)
+    except ValueError as exc:
+        raise EvaluationError(f"arity mismatch: relation {name} {exc}") from exc
 
 
 def evaluate_program(
@@ -195,6 +396,12 @@ def evaluate_program(
     facts are read from ``facts`` and are *not* included in the result
     unless an IDB rule rederives them under an IDB predicate name.
 
+    The evaluation is genuinely semi-naive: after a naive seeding round,
+    each iteration runs one *delta plan* per (rule, IDB body-atom
+    occurrence), joining that occurrence against the previous round's new
+    tuples only.  Rules with EDB-only bodies cannot derive anything after
+    the seeding round and are never revisited.
+
     Parameters
     ----------
     max_iterations:
@@ -202,17 +409,36 @@ def evaluate_program(
         always terminates because the Herbrand base over the active domain
         is finite.
     """
-    source = as_fact_source(facts)
-    idb: Dict[str, Set[Row]] = {p: set() for p in program.idb_predicates()}
-    delta: Dict[str, Set[Row]] = {p: set() for p in program.idb_predicates()}
-
-    # Naive first round to seed the deltas.
+    source = ensure_indexed(as_fact_source(facts))
+    idb_predicates = program.idb_predicates()
+    idb: Dict[str, PredicateIndex] = {p: PredicateIndex() for p in idb_predicates}
     layered = _LayeredFacts(source, idb)
+
+    naive_plans = [_JoinPlan(rule.head, rule.body) for rule in program.rules]
+    delta_plans: List[Tuple[str, str, _JoinPlan]] = []
     for rule in program.rules:
-        derived = evaluate_query(ConjunctiveQuery(rule.head, rule.body), layered)
-        delta[rule.name] |= derived - idb[rule.name]
+        relational = [a for a in rule.body if isinstance(a, Atom)]
+        for occurrence, atom in enumerate(relational):
+            if atom.predicate in idb_predicates:
+                delta_plans.append(
+                    (
+                        rule.name,
+                        atom.predicate,
+                        _JoinPlan(rule.head, rule.body, delta_occurrence=occurrence),
+                    )
+                )
+
+    # Naive seeding round: every rule once over the EDB (IDB still empty,
+    # so everything derived is new).
+    delta: Dict[str, Set[Row]] = {p: set() for p in idb_predicates}
+    for rule, plan in zip(program.rules, naive_plans):
+        derived: Set[Row] = set()
+        plan.execute(layered, derived)
+        delta[rule.name].update(derived)
     for name, rows in delta.items():
-        idb[name] |= rows
+        index = idb[name]
+        for row in rows:
+            _idb_add(index, name, row)
 
     iteration = 0
     while any(delta.values()):
@@ -221,19 +447,24 @@ def evaluate_program(
             raise EvaluationError(
                 f"datalog evaluation exceeded {max_iterations} iterations"
             )
-        new_delta: Dict[str, Set[Row]] = {p: set() for p in idb}
-        layered = _LayeredFacts(source, idb)
-        for rule in program.rules:
-            # Semi-naive: only rules that mention a predicate whose delta is
-            # non-empty can derive anything new this round.
-            if not any(delta.get(p) for p in rule.predicates()):
+        delta_indexes = {
+            name: PredicateIndex(rows) for name, rows in delta.items() if rows
+        }
+        new_delta: Dict[str, Set[Row]] = {p: set() for p in idb_predicates}
+        for head_name, delta_predicate, plan in delta_plans:
+            delta_index = delta_indexes.get(delta_predicate)
+            if delta_index is None:
                 continue
-            derived = evaluate_query(ConjunctiveQuery(rule.head, rule.body), layered)
-            new_delta[rule.name] |= derived - idb[rule.name]
+            derived = set()
+            plan.execute(layered, derived, delta_index=delta_index)
+            existing = idb[head_name]
+            new_delta[head_name].update(row for row in derived if row not in existing)
         for name, rows in new_delta.items():
-            idb[name] |= rows
+            index = idb[name]
+            for row in rows:
+                _idb_add(index, name, row)
         delta = new_delta
-    return idb
+    return {name: set(index.rows()) for name, index in idb.items()}
 
 
 def evaluate_program_query(

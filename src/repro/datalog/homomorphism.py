@@ -21,31 +21,11 @@ this domain are small (a handful of atoms) so this is plenty fast.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from .atoms import Atom
-from .terms import Constant, Term, Variable, is_variable
-from .unify import Substitution, apply_substitution_term
-
-
-def _extend(
-    pattern: Atom, target: Atom, mapping: Substitution
-) -> Optional[Substitution]:
-    """Try to extend ``mapping`` so that ``pattern`` maps onto ``target``."""
-    if pattern.predicate != target.predicate or pattern.arity != target.arity:
-        return None
-    result = dict(mapping)
-    for p_arg, t_arg in zip(pattern.args, target.args):
-        if is_variable(p_arg):
-            bound = result.get(p_arg)  # type: ignore[arg-type]
-            if bound is None:
-                result[p_arg] = t_arg  # type: ignore[index]
-            elif bound != t_arg:
-                return None
-        else:
-            if p_arg != t_arg:
-                return None
-    return result
+from .terms import Term, Variable, is_variable
+from .unify import Substitution
 
 
 def _order_atoms(atoms: Sequence[Atom]) -> List[Atom]:
@@ -75,6 +55,13 @@ def find_homomorphisms(
 ) -> Iterator[Substitution]:
     """Yield every homomorphism from ``source`` atoms into ``target`` atoms.
 
+    Candidate target atoms for each source atom are looked up in a
+    positional index: every position of a source atom that holds a
+    constant, or a variable already bound when the atom is reached in the
+    search order, narrows the candidates to the target atoms carrying the
+    required term at that position.  The search itself binds into a single
+    mutable mapping with trail-based undo.
+
     Parameters
     ----------
     source:
@@ -88,21 +75,80 @@ def find_homomorphisms(
     """
     ordered = _order_atoms(source)
     by_predicate: Dict[str, List[Atom]] = {}
+    by_position: Dict[tuple[str, int, Term], List[Atom]] = {}
     for atom in target:
         by_predicate.setdefault(atom.predicate, []).append(atom)
-
-    def backtrack(index: int, mapping: Substitution) -> Iterator[Substitution]:
-        if index == len(ordered):
-            yield dict(mapping)
-            return
-        atom = ordered[index]
-        for candidate in by_predicate.get(atom.predicate, ()):
-            extended = _extend(atom, candidate, mapping)
-            if extended is not None:
-                yield from backtrack(index + 1, extended)
+        for pos, arg in enumerate(atom.args):
+            by_position.setdefault((atom.predicate, pos, arg), []).append(atom)
 
     initial: Substitution = dict(seed) if seed else {}
-    yield from backtrack(0, initial)
+
+    # Per ordered atom, precompute the probe positions whose target term is
+    # known either statically (constants) or at search time (variables
+    # bound by earlier atoms or by the seed).
+    compiled: List[tuple[Atom, List[tuple[int, Term]], List[tuple[int, Variable]]]] = []
+    bound_before: set[Variable] = set(initial)
+    for atom in ordered:
+        const_probes: List[tuple[int, Term]] = []
+        var_probes: List[tuple[int, Variable]] = []
+        for pos, arg in enumerate(atom.args):
+            if is_variable(arg):
+                if arg in bound_before:
+                    var_probes.append((pos, arg))  # type: ignore[arg-type]
+            else:
+                const_probes.append((pos, arg))
+        compiled.append((atom, const_probes, var_probes))
+        bound_before.update(atom.variable_set())
+
+    def candidates_for(
+        atom: Atom,
+        const_probes: List[tuple[int, Term]],
+        var_probes: List[tuple[int, Variable]],
+        mapping: Substitution,
+    ) -> Sequence[Atom]:
+        best: Optional[Sequence[Atom]] = None
+        for pos, term in const_probes:
+            bucket = by_position.get((atom.predicate, pos, term), ())
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        for pos, var in var_probes:
+            bucket = by_position.get((atom.predicate, pos, mapping[var]), ())
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        if best is None:
+            return by_predicate.get(atom.predicate, ())
+        return best
+
+    mapping: Substitution = initial
+
+    def backtrack(index: int) -> Iterator[Substitution]:
+        if index == len(compiled):
+            yield dict(mapping)
+            return
+        atom, const_probes, var_probes = compiled[index]
+        for candidate in candidates_for(atom, const_probes, var_probes, mapping):
+            if candidate.arity != atom.arity:
+                continue
+            added: List[Variable] = []
+            ok = True
+            for p_arg, t_arg in zip(atom.args, candidate.args):
+                if is_variable(p_arg):
+                    bound = mapping.get(p_arg)  # type: ignore[arg-type]
+                    if bound is None:
+                        mapping[p_arg] = t_arg  # type: ignore[index]
+                        added.append(p_arg)  # type: ignore[arg-type]
+                    elif bound != t_arg:
+                        ok = False
+                        break
+                elif p_arg != t_arg:
+                    ok = False
+                    break
+            if ok:
+                yield from backtrack(index + 1)
+            for var in added:
+                del mapping[var]
+
+    yield from backtrack(0)
 
 
 def find_homomorphism(

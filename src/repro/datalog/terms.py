@@ -38,6 +38,13 @@ class Variable:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("variable name must be non-empty")
+        # Variables are rehashed constantly (substitutions, MCD memoization,
+        # binding dictionaries); cache the hash once at construction.  The
+        # "var" tag keeps Variable("x") and Constant("x") from colliding.
+        object.__setattr__(self, "_hash", hash(("var", self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:
         return f"?{self.name}"
@@ -56,6 +63,14 @@ class Constant:
     """
 
     value: Union[str, int, float]
+
+    def __post_init__(self) -> None:
+        # Cached hash; ``hash(1) == hash(1.0)`` so the cache stays consistent
+        # with dataclass equality across int/float constants.
+        object.__setattr__(self, "_hash", hash(("const", self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:
         return repr(self.value)

@@ -1,0 +1,1 @@
+"""Test package marker so ``tests.property`` relative imports resolve."""

@@ -1,0 +1,1 @@
+"""Property-based tests (Hypothesis); ``strategies`` is imported relatively."""

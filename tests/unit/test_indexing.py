@@ -1,0 +1,151 @@
+"""Unit tests for the positional hash-index layer and its fact sources."""
+
+import pytest
+
+from repro.database.instance import Instance
+from repro.datalog.evaluation import _LayeredFacts, _MappingFacts, evaluate_query
+from repro.datalog.indexing import (
+    WILDCARD,
+    PredicateIndex,
+    SnapshotIndexedSource,
+    ensure_indexed,
+)
+from repro.datalog.parser import parse_query
+from repro.errors import EvaluationError
+
+
+class TestPredicateIndex:
+    def test_full_scan_with_all_wildcards(self):
+        index = PredicateIndex([(1, 2), (3, 4)])
+        assert set(index.matching((WILDCARD, WILDCARD))) == {(1, 2), (3, 4)}
+
+    def test_single_position_probe(self):
+        index = PredicateIndex([(1, 2), (1, 3), (2, 3)])
+        assert set(index.matching((1, WILDCARD))) == {(1, 2), (1, 3)}
+        assert set(index.matching((WILDCARD, 3))) == {(1, 3), (2, 3)}
+        assert set(index.matching((9, WILDCARD))) == set()
+
+    def test_multi_position_probe(self):
+        index = PredicateIndex([(1, 2, 3), (1, 2, 4), (1, 5, 3)])
+        assert set(index.matching((1, 2, WILDCARD))) == {(1, 2, 3), (1, 2, 4)}
+        assert set(index.matching((1, WILDCARD, 3))) == {(1, 2, 3), (1, 5, 3)}
+
+    def test_incremental_add_updates_built_indexes(self):
+        index = PredicateIndex([(1, 2)])
+        assert set(index.matching((1, WILDCARD))) == {(1, 2)}  # index now built
+        assert index.add((1, 3))
+        assert not index.add((1, 3))  # duplicate
+        assert set(index.matching((1, WILDCARD))) == {(1, 2), (1, 3)}
+
+    def test_discard_invalidates(self):
+        index = PredicateIndex([(1, 2), (1, 3)])
+        assert set(index.matching((1, WILDCARD))) == {(1, 2), (1, 3)}
+        assert index.discard((1, 2))
+        assert not index.discard((9, 9))
+        assert set(index.matching((1, WILDCARD))) == {(1, 3)}
+
+    def test_version_bumps_on_mutation(self):
+        index = PredicateIndex()
+        v0 = index.version
+        index.add((1,))
+        assert index.version > v0
+
+    def test_ragged_relations_fail_probes_deterministically(self):
+        # Any width mismatch between stored rows and the probing atom is
+        # malformed data; probes raise regardless of which bucket the
+        # probe would have hit (the seed's scanning evaluator raised on
+        # every such row too).  rows() stays available for inspection.
+        index = PredicateIndex([(1,), (1, 2)])
+        with pytest.raises(ValueError):
+            index.matching((1, 2))
+        with pytest.raises(ValueError):
+            index.matching((WILDCARD, WILDCARD))
+        assert set(index.rows()) == {(1,), (1, 2)}
+        uniform = PredicateIndex([(1, 2), (3, 4)])
+        assert set(uniform.matching((WILDCARD, WILDCARD))) == {(1, 2), (3, 4)}
+
+    def test_ragged_relation_surfaces_as_evaluation_error(self):
+        # Narrow row relative to the probe:
+        query = parse_query('Q(x) :- p(x, "b")')
+        with pytest.raises(EvaluationError):
+            evaluate_query(query, {"p": {("a",), ("c", "b")}})
+        # Over-wide row that would hash into an unprobed bucket:
+        query2 = parse_query("Q(x) :- R(x, 2)")
+        with pytest.raises(EvaluationError):
+            evaluate_query(query2, {"R": [(1, 2), (9, 9, 9)]})
+
+
+class TestEnsureIndexed:
+    def test_indexed_sources_pass_through(self):
+        instance = Instance.from_dict({"R": [(1, 2)]})
+        assert ensure_indexed(instance) is instance
+
+    def test_plain_sources_get_snapshot_wrapped(self):
+        class Plain:
+            def get_tuples(self, predicate):
+                return [(1, 2), (1, 3)] if predicate == "R" else []
+
+        wrapped = ensure_indexed(Plain())
+        assert isinstance(wrapped, SnapshotIndexedSource)
+        assert set(wrapped.get_matching("R", (1, WILDCARD))) == {(1, 2), (1, 3)}
+        assert set(wrapped.get_matching("Missing", (1,))) == set()
+
+
+class TestInstanceIndexes:
+    def test_get_matching(self):
+        instance = Instance.from_dict({"E": [(1, 2), (2, 3), (2, 4)]})
+        assert set(instance.get_matching("E", (2, WILDCARD))) == {(2, 3), (2, 4)}
+        assert set(instance.get_matching("Nope", (1,))) == set()
+
+    def test_indexes_follow_mutations(self):
+        instance = Instance.from_dict({"E": [(1, 2)]})
+        assert set(instance.get_matching("E", (1, WILDCARD))) == {(1, 2)}
+        instance.add("E", (1, 5))
+        assert set(instance.get_matching("E", (1, WILDCARD))) == {(1, 2), (1, 5)}
+        instance.remove("E", (1, 2))
+        assert set(instance.get_matching("E", (1, WILDCARD))) == {(1, 5)}
+        instance.clear("E")
+        assert set(instance.get_matching("E", (1, WILDCARD))) == set()
+
+    def test_query_evaluation_uses_live_instance(self):
+        instance = Instance.from_dict({"E": [(1, 2), (2, 3)]})
+        query = parse_query("Q(x, z) :- E(x, y), E(y, z)")
+        assert evaluate_query(query, instance) == {(1, 3)}
+        instance.add("E", (3, 4))
+        assert evaluate_query(query, instance) == {(1, 3), (2, 4)}
+
+
+class TestLayeredFacts:
+    def test_get_tuples_does_not_alias_derived_state(self):
+        # Regression: the seed returned its internal derived set by
+        # reference when the base relation was empty, so callers mutating
+        # the result corrupted the fixpoint state.
+        derived_index = PredicateIndex([(1,)])
+        layered = _LayeredFacts(_MappingFacts({}), {"P": derived_index})
+        result = layered.get_tuples("P")
+        assert set(result) == {(1,)}
+        assert result is not derived_index.rows()
+        set(result)  # iterable, possibly frozen — mutating a copy is safe
+        with pytest.raises(AttributeError):
+            result.add((2,))  # frozenset: no mutation hook at all
+        assert set(derived_index.rows()) == {(1,)}
+
+    def test_merges_base_and_derived(self):
+        layered = _LayeredFacts(_MappingFacts({"P": [(1,)]}), {"P": [(2,)]})
+        assert set(layered.get_tuples("P")) == {(1,), (2,)}
+        assert set(layered.get_matching("P", (WILDCARD,))) == {(1,), (2,)}
+        assert set(layered.get_matching("P", (2,))) == {(2,)}
+
+    def test_scan_cache_tracks_new_derivations(self):
+        index = PredicateIndex([(1,)])
+        layered = _LayeredFacts(_MappingFacts({"P": [(0,)]}), {"P": index})
+        assert set(layered.get_tuples("P")) == {(0,), (1,)}
+        index.add((2,))
+        assert set(layered.get_tuples("P")) == {(0,), (1,), (2,)}
+
+
+class TestArityChecking:
+    def test_full_scan_arity_mismatch_still_raises(self):
+        query = parse_query("Q(x) :- E(x)")
+        with pytest.raises(EvaluationError):
+            evaluate_query(query, {"E": [(1, 2)]})
