@@ -116,6 +116,15 @@ class Instance:
         """Names of relations that currently hold at least one row or are declared."""
         return tuple(self._relations)
 
+    def arity(self, relation: str) -> Optional[int]:
+        """Arity of ``relation`` (declared or inferred), or ``None`` if unknown."""
+        if self._schema is not None:
+            try:
+                return self._schema.relation(relation).arity
+            except SchemaError:
+                return None
+        return self._arities.get(relation)
+
     def cardinality(self, relation: str) -> int:
         """Number of rows in ``relation``."""
         index = self._relations.get(relation)

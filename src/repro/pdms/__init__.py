@@ -8,7 +8,13 @@ relations, and the certain-answer semantics of Section 2.2.
 """
 
 from .analysis import ComplexityClass, ComplexityReport, analyze_pdms, build_inclusion_graph
-from .execution import answer_query, combine_peer_instances, evaluate_reformulation
+from .execution import (
+    answer_query,
+    answer_query_batch,
+    combine_peer_instances,
+    evaluate_reformulation,
+    stream_answers,
+)
 from .mappings import (
     DefinitionalMapping,
     EqualityMapping,
@@ -20,15 +26,27 @@ from .mappings import (
 from .optimizations import DEFAULT_CONFIG, ExpansionOrder, ReformulationConfig
 from .peer import Peer, StoredRelation, qualified_name
 from .reformulation import (
+    CanonicalQuery,
+    ReformulationProvenance,
     ReformulationResult,
+    canonicalize_query,
     compute_productive_predicates,
     reformulate,
 )
 from .rule_goal_tree import GoalNode, RuleGoalTree, RuleNode, TreeStatistics
 from .semantics import build_canonical_instance, certain_answers, is_consistent
-from .system import PDMS, NormalizedCatalogue, NormalizedInclusion, NormalizedRule
+from .service import QueryService, ServiceStats
+from .system import (
+    PDMS,
+    CatalogueChange,
+    NormalizedCatalogue,
+    NormalizedInclusion,
+    NormalizedRule,
+)
 
 __all__ = [
+    "CanonicalQuery",
+    "CatalogueChange",
     "ComplexityClass",
     "ComplexityReport",
     "DEFAULT_CONFIG",
@@ -42,17 +60,22 @@ __all__ = [
     "NormalizedRule",
     "PDMS",
     "Peer",
+    "QueryService",
     "ReformulationConfig",
+    "ReformulationProvenance",
     "ReformulationResult",
     "RuleGoalTree",
     "RuleNode",
+    "ServiceStats",
     "StorageDescription",
     "StoredRelation",
     "TreeStatistics",
     "analyze_pdms",
     "answer_query",
+    "answer_query_batch",
     "build_canonical_instance",
     "build_inclusion_graph",
+    "canonicalize_query",
     "certain_answers",
     "combine_peer_instances",
     "compute_productive_predicates",
@@ -62,4 +85,5 @@ __all__ = [
     "qualified_name",
     "reformulate",
     "replication",
+    "stream_answers",
 ]

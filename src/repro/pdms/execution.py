@@ -6,17 +6,36 @@ over an in-memory :class:`repro.database.instance.Instance` (or any fact
 source) holding the stored relations of all peers, using set semantics.
 A convenience helper assembles that combined instance from per-peer
 instances.
+
+Execution is *streaming*: rewritings are pulled from the reformulation
+generator one at a time and evaluated as they arrive, so the first
+answers surface before Step 3 finishes enumerating (the paper's Figure 4
+measures exactly this time-to-first-answer shape).  ``limit`` cuts the
+enumeration short once enough distinct answers are known, and
+:func:`answer_query_batch` shares one combined instance across a query
+mix.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Set, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..database.instance import Instance
 from ..database.planner import evaluate_query_via_plan
 from ..datalog.evaluation import FactsLike, evaluate_query
 from ..datalog.queries import ConjunctiveQuery
-from ..errors import EvaluationError
+from ..errors import EvaluationError, MappingError
 from .optimizations import ReformulationConfig
 from .reformulation import ReformulationResult, reformulate
 from .system import PDMS
@@ -27,40 +46,138 @@ Row = Tuple[object, ...]
 ENGINES = ("backtracking", "plan")
 
 
+def default_engine() -> str:
+    """The engine used when callers don't pass one explicitly.
+
+    Read from ``REPRO_DEFAULT_ENGINE`` so the whole test suite (and any
+    deployment) can be pointed at either engine without code changes —
+    the CI matrix runs tier-1 under both.
+    """
+    import os
+
+    engine = os.environ.get("REPRO_DEFAULT_ENGINE", "backtracking")
+    if engine not in ENGINES:
+        raise EvaluationError(
+            f"REPRO_DEFAULT_ENGINE={engine!r} is not one of {ENGINES}"
+        )
+    return engine
+
+
 def combine_peer_instances(instances: Mapping[str, Instance]) -> Instance:
     """Merge per-peer instances of stored relations into one instance.
 
     Stored-relation names are globally unique in a well-formed PDMS, so
-    merging is a plain union; a clash with different arities raises.
+    merging is a plain union; a clash with different arities raises a
+    :class:`MappingError` naming both peers involved.
     """
     combined = Instance()
+    first_seen: Dict[str, Tuple[str, int]] = {}
     for peer_name, instance in instances.items():
         for relation in instance.relations():
+            arity = instance.arity(relation)
+            if arity is None:
+                continue
+            earlier = first_seen.get(relation)
+            if earlier is None:
+                first_seen[relation] = (peer_name, arity)
+            elif earlier[1] != arity:
+                raise MappingError(
+                    f"stored relation {relation!r} has arity {earlier[1]} at peer "
+                    f"{earlier[0]!r} but arity {arity} at peer {peer_name!r}"
+                )
             for row in instance.get_tuples(relation):
                 combined.add(relation, row)
     return combined
 
 
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if it names a known execution engine, else raise."""
+    if engine not in ENGINES:
+        raise EvaluationError(f"unknown execution engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+def _resolve_engine(engine: str):
+    validate_engine(engine)
+    return evaluate_query if engine == "backtracking" else evaluate_query_via_plan
+
+
+def is_per_peer_data(data: Union[FactsLike, Mapping[str, Instance]]) -> bool:
+    """Is ``data`` a (non-empty) mapping from peer name to :class:`Instance`?
+
+    The single convention check shared by every entry point that accepts
+    either a flat fact source or per-peer instances.
+    """
+    return (
+        isinstance(data, Mapping)
+        and bool(data)
+        and all(isinstance(value, Instance) for value in data.values())
+    )
+
+
+def combine_if_per_peer(
+    data: Union[FactsLike, Mapping[str, Instance]]
+) -> FactsLike:
+    """Collapse per-peer instances into one fact source; pass anything else through."""
+    if is_per_peer_data(data):
+        return combine_peer_instances(data)  # type: ignore[arg-type]
+    return data  # type: ignore[return-value]
+
+
+def stream_answers(
+    result: ReformulationResult, data: FactsLike, engine: Optional[str] = None
+) -> Iterator[Row]:
+    """Yield distinct answer rows as the rewriting enumeration progresses.
+
+    Each conjunctive rewriting is evaluated as soon as Step 3 produces it;
+    rows already seen (set semantics) are suppressed.  Consuming only a
+    prefix of this iterator therefore never forces the full rewriting
+    enumeration — the first-k path of the service layer rides on this.
+
+    A bad ``engine`` name raises here, at call time, not on first
+    iteration.
+    """
+    evaluate = _resolve_engine(engine if engine is not None else default_engine())
+
+    def generate() -> Iterator[Row]:
+        seen: Set[Row] = set()
+        for rewriting in result.rewritings():
+            for row in evaluate(rewriting, data):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+    return generate()
+
+
 def evaluate_reformulation(
-    result: ReformulationResult, data: FactsLike, engine: str = "backtracking"
+    result: ReformulationResult,
+    data: FactsLike,
+    engine: Optional[str] = None,
+    limit: Optional[int] = None,
 ) -> Set[Row]:
-    """Evaluate every rewriting of ``result`` over ``data`` (set semantics).
+    """Evaluate the rewritings of ``result`` over ``data`` (set semantics).
 
     Streaming evaluation: rewritings are evaluated as they are produced,
     so answers from the first rewritings are found before the enumeration
-    completes.
+    completes.  With ``limit``, evaluation stops as soon as ``limit``
+    distinct answers are known and returns that subset.
 
     ``engine`` selects the evaluation path: ``"backtracking"`` uses the
     direct conjunctive-query evaluator, ``"plan"`` compiles each rewriting
     to a relational-algebra plan first (the route a database system would
     take); both return the same answers.
     """
-    if engine not in ENGINES:
-        raise EvaluationError(f"unknown execution engine {engine!r}; choose from {ENGINES}")
-    evaluate = evaluate_query if engine == "backtracking" else evaluate_query_via_plan
+    engine = validate_engine(engine if engine is not None else default_engine())
+    if limit is not None and limit < 0:
+        raise EvaluationError(f"limit must be non-negative, got {limit}")
     answers: Set[Row] = set()
-    for rewriting in result.rewritings():
-        answers |= evaluate(rewriting, data)
+    if limit == 0:
+        return answers
+    for row in stream_answers(result, data, engine=engine):
+        answers.add(row)
+        if limit is not None and len(answers) >= limit:
+            break
     return answers
 
 
@@ -69,18 +186,39 @@ def answer_query(
     query: ConjunctiveQuery,
     data: Union[FactsLike, Mapping[str, Instance]],
     config: Optional[ReformulationConfig] = None,
-    engine: str = "backtracking",
+    engine: Optional[str] = None,
+    limit: Optional[int] = None,
 ) -> Set[Row]:
     """Reformulate ``query`` and evaluate it over stored-relation data.
 
     ``data`` is either a single fact source over stored relations, or a
     mapping from peer name to that peer's :class:`Instance` (in which case
-    the instances are combined first).  ``engine`` is passed through to
-    :func:`evaluate_reformulation`.
+    the instances are combined first).  ``engine`` and ``limit`` are
+    passed through to :func:`evaluate_reformulation`.
     """
-    if isinstance(data, Mapping) and data and all(
-        isinstance(value, Instance) for value in data.values()
-    ):
-        data = combine_peer_instances(data)  # type: ignore[arg-type]
+    data = combine_if_per_peer(data)
     result = reformulate(pdms, query, config=config)
-    return evaluate_reformulation(result, data, engine=engine)
+    return evaluate_reformulation(result, data, engine=engine, limit=limit)
+
+
+def answer_query_batch(
+    pdms: PDMS,
+    queries: Sequence[ConjunctiveQuery],
+    data: Union[FactsLike, Mapping[str, Instance]],
+    config: Optional[ReformulationConfig] = None,
+    engine: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[Set[Row]]:
+    """Answer a mix of queries over one shared combined instance.
+
+    Per-peer data is merged exactly once for the whole batch (the
+    per-query path re-merges on every call).  Returns the answer sets in
+    query order.  For reformulation reuse across the batch, use
+    :class:`repro.pdms.service.QueryService`, which layers a cache over
+    this path.
+    """
+    data = combine_if_per_peer(data)
+    return [
+        answer_query(pdms, query, data, config=config, engine=engine, limit=limit)
+        for query in queries
+    ]

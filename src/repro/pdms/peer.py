@@ -131,6 +131,15 @@ class Peer:
         self._stored_relations[name] = stored
         return stored
 
+    def remove_stored_relation(self, name: str) -> StoredRelation:
+        """Undeclare a stored relation (e.g. when its last description goes)."""
+        try:
+            return self._stored_relations.pop(name)
+        except KeyError as exc:
+            raise PDMSConfigurationError(
+                f"peer {self.name} stores no relation {name!r}"
+            ) from exc
+
     def stored_relations(self) -> Tuple[StoredRelation, ...]:
         """All stored relations contributed by this peer."""
         return tuple(self._stored_relations.values())

@@ -124,6 +124,64 @@ def compute_productive_predicates(catalogue: NormalizedCatalogue) -> frozenset:
 
 
 # ---------------------------------------------------------------------------
+# Provenance: which descriptions and predicates a reformulation depends on
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReformulationProvenance:
+    """What one reformulation *used* and what it *depends on*.
+
+    ``used_origins`` are the origin names of every description applied in
+    the rule-goal tree — removing any of them can remove rewritings.
+    ``touched_predicates`` are the labels of every goal node; a new
+    description defining or mentioning one of them can add expansions.
+    ``dependencies`` is a superset of ``touched_predicates`` that also
+    closes over the unproductive predicates whose status the dead-end
+    pruner consulted: a new description can make such a predicate
+    productive *transitively*, reviving a pruned expansion, so caches must
+    treat those predicates as dependencies too.
+    """
+
+    used_origins: frozenset
+    touched_predicates: frozenset
+    dependencies: frozenset
+
+    def affected_by(self, affected_predicates: frozenset, removed_origins: frozenset) -> bool:
+        """Could a catalogue change with these footprints alter the result?"""
+        return bool(
+            (removed_origins & self.used_origins)
+            or (affected_predicates & self.dependencies)
+        )
+
+
+def _unproductive_closure(
+    catalogue: NormalizedCatalogue, frontier: Iterable[str], productive: frozenset
+) -> Set[str]:
+    """All unproductive predicates whose status can influence ``frontier``.
+
+    Productivity propagates through definitional-rule bodies and inclusion
+    left-hand sides; a catalogue addition touching any predicate in the
+    returned set can flip a frontier predicate to productive.
+    """
+    closure: Set[str] = set()
+    worklist = [p for p in frontier if p not in productive]
+    while worklist:
+        predicate = worklist.pop()
+        if predicate in closure:
+            continue
+        closure.add(predicate)
+        for rule in catalogue.definitional_for(predicate):
+            for body_predicate in rule.rule.predicates():
+                if body_predicate not in productive and body_predicate not in closure:
+                    worklist.append(body_predicate)
+        for inclusion in catalogue.inclusions_mentioning(predicate):
+            head = inclusion.head_predicate
+            if head not in productive and head not in closure:
+                worklist.append(head)
+    return closure
+
+
+# ---------------------------------------------------------------------------
 # Reformulation result
 # ---------------------------------------------------------------------------
 
@@ -140,16 +198,31 @@ class ReformulationResult:
     query: ConjunctiveQuery
     tree: RuleGoalTree
     config: ReformulationConfig
+    #: Descriptions used and predicates depended on — the invalidation key
+    #: for caches layered on top (see :class:`ReformulationProvenance`).
+    provenance: ReformulationProvenance = field(
+        default=ReformulationProvenance(frozenset(), frozenset(), frozenset())
+    )
+    #: ``pdms.catalogue_version`` at build time.
+    catalogue_version: int = 0
     _assembler: "_RewritingAssembler" = field(repr=False, default=None)
     _all: Optional[List[ConjunctiveQuery]] = field(default=None, repr=False)
+    _stream: Optional[_LazySeq] = field(default=None, repr=False)
 
     def rewritings(self) -> Iterator[ConjunctiveQuery]:
         """Stream the conjunctive rewritings (may contain subsumed duplicates
-        unless ``config.remove_redundant_rewritings`` is set)."""
+        unless ``config.remove_redundant_rewritings`` is set).
+
+        Already-produced rewritings are memoized, so repeated partial
+        consumption (e.g. several ``limit=k`` calls against one cached
+        result) never re-runs the Step-3 enumeration from the start.
+        """
         if self._all is not None:
             yield from self._all
             return
-        yield from self._assembler.rewritings()
+        if self._stream is None:
+            self._stream = _LazySeq(self._assembler.rewritings())
+        yield from self._stream
 
     def first_rewritings(self, count: int) -> List[ConjunctiveQuery]:
         """The first ``count`` rewritings (fewer if the enumeration is smaller)."""
@@ -158,7 +231,7 @@ class ReformulationResult:
     def all_rewritings(self) -> List[ConjunctiveQuery]:
         """All conjunctive rewritings, materialised and cached."""
         if self._all is None:
-            rewritings = list(self._assembler.rewritings())
+            rewritings = list(self.rewritings())
             if self.config.remove_redundant_rewritings:
                 rewritings = remove_redundant_disjuncts(rewritings)
             self._all = rewritings
@@ -197,6 +270,10 @@ class _TreeBuilder:
         self._mcd_cache: Dict[tuple, List[MCD]] = {}
         self._stats = TreeStatistics()
         self._node_budget = config.max_nodes
+        # Provenance accumulators (see ReformulationProvenance).
+        self._used_origins: Set[str] = set()
+        self._touched_predicates: Set[str] = set()
+        self._dead_end_frontier: Set[str] = set()
 
     # -- public ------------------------------------------------------------------
 
@@ -286,7 +363,23 @@ class _TreeBuilder:
             external=external,
         )
         self._count_goal(goal)
+        self._touched_predicates.add(atom.predicate)
         return goal
+
+    def provenance(self) -> ReformulationProvenance:
+        """Provenance of the built tree (call after :meth:`build`)."""
+        dependencies = set(self._touched_predicates)
+        if self._dead_end_frontier:
+            dependencies |= _unproductive_closure(
+                self._catalogue,
+                self._dead_end_frontier,
+                self._productive if self._productive is not None else frozenset(),
+            )
+        return ReformulationProvenance(
+            used_origins=frozenset(self._used_origins),
+            touched_predicates=frozenset(self._touched_predicates),
+            dependencies=frozenset(dependencies),
+        )
 
     def _outside_vars(self, goal: GoalNode) -> Set[Variable]:
         """Variables visible outside the sibling group of ``goal``.
@@ -390,6 +483,7 @@ class _TreeBuilder:
             )
             goal.add_child(rule_node)
             self._count_rule()
+            self._used_origins.add(normalized.origin)
             blocked = goal.blocked
             if not normalized.synthetic:
                 blocked = blocked | {normalized.origin}
@@ -422,6 +516,10 @@ class _TreeBuilder:
                 continue
             if predicate in self._coverable:
                 continue
+            # The pruning decision hinges on this predicate staying
+            # unproductive and uncoverable; record it so provenance can
+            # flag catalogue additions that would revive the expansion.
+            self._dead_end_frontier.add(predicate)
             return True
         return False
 
@@ -477,6 +575,7 @@ class _TreeBuilder:
                 )
                 goal.add_child(rule_node)
                 self._count_rule()
+                self._used_origins.add(inclusion.origin)
                 uncovered_vars: Set[Variable] = set()
                 for sibling in siblings:
                     if sibling not in covered_nodes:
@@ -787,6 +886,75 @@ class _RewritingAssembler:
 
 
 # ---------------------------------------------------------------------------
+# Cheap query canonicalization (cache keys for the service layer)
+# ---------------------------------------------------------------------------
+
+_CANONICAL_HEAD = "__q__"
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """A query renamed to positional variables plus its cache signature.
+
+    Two queries with equal ``signature`` are identical up to variable
+    renaming, body-atom order, and head-predicate name — so they share
+    one reformulation, and because the canonical head lists the original
+    head arguments *positionally*, evaluating the canonical rewritings
+    yields exactly the original query's answer rows.  The converse need
+    not hold (symmetric self-join queries may canonicalise differently
+    per atom order); a missed isomorphism costs a cache miss, never a
+    wrong answer.
+    """
+
+    query: ConjunctiveQuery
+    signature: str
+
+
+def canonicalize_query(query: ConjunctiveQuery) -> CanonicalQuery:
+    """Rename ``query`` to a canonical form in one cheap linear pass.
+
+    Relational atoms are sorted by predicate and constant pattern, then
+    variables are renamed positionally (head first, then sorted body);
+    comparison atoms are renamed and sorted last.
+    """
+    def atom_sort_key(atom: Atom):
+        return (
+            atom.predicate,
+            atom.arity,
+            tuple(
+                ("v",) if is_variable(arg) else ("c", repr(arg))
+                for arg in atom.args
+            ),
+        )
+
+    body_atoms = sorted(query.relational_body(), key=atom_sort_key)
+    renaming: Dict[Variable, Variable] = {}
+
+    def canon(term: Term) -> Term:
+        if not is_variable(term):
+            return term
+        if term not in renaming:
+            renaming[term] = Variable(f"_q{len(renaming)}")
+        return renaming[term]
+
+    head = Atom(_CANONICAL_HEAD, [canon(arg) for arg in query.head.args])
+    canonical_body: List = [
+        Atom(atom.predicate, [canon(arg) for arg in atom.args]) for atom in body_atoms
+    ]
+    comparisons = sorted(
+        (
+            ComparisonAtom(canon(comp.left), comp.op, canon(comp.right))
+            for comp in query.comparison_body()
+        ),
+        key=str,
+    )
+    canonical_body.extend(comparisons)
+    canonical = ConjunctiveQuery(head, canonical_body)
+    signature = f"{canonical.head} :- " + ", ".join(str(a) for a in canonical.body)
+    return CanonicalQuery(query=canonical, signature=signature)
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -818,4 +986,11 @@ def reformulate(
     builder = _TreeBuilder(pdms, query, config)
     tree = builder.build()
     assembler = _RewritingAssembler(query, tree, config)
-    return ReformulationResult(query=query, tree=tree, config=config, _assembler=assembler)
+    return ReformulationResult(
+        query=query,
+        tree=tree,
+        config=config,
+        provenance=builder.provenance(),
+        catalogue_version=pdms.catalogue_version,
+        _assembler=assembler,
+    )

@@ -1,0 +1,374 @@
+"""The query-answering service layer: cached, incremental, streaming.
+
+The paper's headline scenario (Section 1, Figure 1) is *dynamism*: the
+Earthquake Command Center joins the PDMS ad hoc and immediately reaches
+every source through transitive mappings.  :class:`QueryService` makes
+that scenario cheap to serve repeatedly:
+
+* **Reformulation cache** — :class:`~repro.pdms.reformulation.ReformulationResult`
+  objects are cached under a canonicalized query signature
+  (:func:`~repro.pdms.reformulation.canonicalize_query`), so repeated and
+  structurally isomorphic queries skip rule-goal-tree construction
+  entirely and reuse the memoized rewritings.
+
+* **Incremental catalogue churn** — :meth:`add_peer`,
+  :meth:`add_peer_mapping`, :meth:`add_storage_description`,
+  :meth:`remove_peer`, and :meth:`remove_peer_mapping` delegate to the
+  wrapped :class:`~repro.pdms.system.PDMS` (whose normalised catalogue is
+  itself maintained incrementally) and then invalidate **only** the cache
+  entries whose rule-goal trees are provenance-affected, as judged by
+  :meth:`ReformulationProvenance.affected_by
+  <repro.pdms.reformulation.ReformulationProvenance.affected_by>` against
+  the recorded :class:`~repro.pdms.system.CatalogueChange`.  An unrelated
+  peer join evicts nothing.  Direct mutations on the underlying ``PDMS``
+  are picked up too: the service replays the PDMS change log before every
+  cache access.
+
+* **Streaming first-k answers** — :meth:`answer` with ``limit=k`` threads
+  the rewriting generator through :func:`~repro.pdms.execution.stream_answers`,
+  so the first *k* answers return without enumerating all rewritings;
+  :meth:`answer_batch` shares one combined instance and the cache across
+  a query mix.
+
+This module is the substrate later scaling work (sharding, async,
+multi-backend execution) plugs into; see ``docs/pdms.md`` for the design
+notes and invalidation rules.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..database.instance import Instance
+from ..datalog.evaluation import FactsLike
+from ..datalog.queries import ConjunctiveQuery
+from ..errors import EvaluationError, PDMSConfigurationError
+from .optimizations import DEFAULT_CONFIG, ReformulationConfig
+from .peer import Peer
+from .execution import (
+    ENGINES,
+    Row,
+    validate_engine,
+    combine_if_per_peer,
+    combine_peer_instances,
+    default_engine,
+    evaluate_reformulation,
+    is_per_peer_data,
+    stream_answers,
+)
+from .mappings import StorageDescription
+from .reformulation import (
+    CanonicalQuery,
+    ReformulationResult,
+    canonicalize_query,
+    reformulate,
+)
+from .system import PDMS, AnyPeerMapping, CatalogueChange
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing how the cache behaved so far."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class QueryService:
+    """A query-answering front end over one :class:`PDMS`.
+
+    Parameters
+    ----------
+    pdms:
+        The system to serve; created empty when omitted.
+    config:
+        :class:`ReformulationConfig` used for every cached reformulation.
+        One service instance serves one configuration — callers comparing
+        ablations should run one service per configuration.
+    engine:
+        Default execution engine (``"backtracking"`` or ``"plan"``).
+    data:
+        Stored-relation data: either a single fact source, or a mapping
+        from peer name to that peer's :class:`Instance` (kept per peer so
+        :meth:`remove_peer` also drops the peer's data).
+    max_entries:
+        Cache capacity; least-recently-used entries are evicted beyond it.
+    """
+
+    def __init__(
+        self,
+        pdms: Optional[PDMS] = None,
+        config: Optional[ReformulationConfig] = None,
+        engine: Optional[str] = None,
+        data: Union[FactsLike, Mapping[str, Instance], None] = None,
+        max_entries: int = 1024,
+    ):
+        try:
+            engine = validate_engine(engine if engine is not None else default_engine())
+        except EvaluationError as exc:
+            # Construction-time mistakes are configuration errors.
+            raise PDMSConfigurationError(str(exc)) from exc
+        if max_entries < 1:
+            raise PDMSConfigurationError("max_entries must be at least 1")
+        self._pdms = pdms if pdms is not None else PDMS()
+        self._config = config if config is not None else DEFAULT_CONFIG
+        self._engine = engine
+        self._max_entries = max_entries
+        self._cache: "OrderedDict[str, ReformulationResult]" = OrderedDict()
+        self._seen_version = self._pdms.catalogue_version
+        self._stats = ServiceStats()
+        self._peer_data: Dict[str, Instance] = {}
+        self._flat_data: Optional[FactsLike] = None
+        self._combined: Optional[FactsLike] = None
+        if data is not None:
+            self.set_data(data)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def pdms(self) -> PDMS:
+        """The wrapped PDMS (mutating it directly is fine; the service
+        replays its change log before every cache access)."""
+        return self._pdms
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Cache behaviour counters."""
+        return self._stats
+
+    @property
+    def catalogue_version(self) -> int:
+        """The underlying PDMS's catalogue version."""
+        return self._pdms.catalogue_version
+
+    @property
+    def cache_size(self) -> int:
+        """Number of currently cached reformulations."""
+        return len(self._cache)
+
+    def cached_signatures(self) -> Tuple[str, ...]:
+        """Signatures currently in the cache (LRU order, oldest first)."""
+        return tuple(self._cache)
+
+    # -- data management -----------------------------------------------------------
+
+    def set_data(self, data: Union[FactsLike, Mapping[str, Instance]]) -> None:
+        """Replace the stored-relation data the service answers over."""
+        self._peer_data = {}
+        self._flat_data = None
+        if is_per_peer_data(data):
+            self._peer_data = dict(data)  # type: ignore[arg-type]
+        else:
+            self._flat_data = data  # type: ignore[assignment]
+        self._combined = None
+
+    def set_peer_data(self, peer_name: str, instance: Instance) -> None:
+        """Attach (or replace) one peer's stored-relation instance."""
+        if self._flat_data is not None:
+            raise PDMSConfigurationError(
+                "service holds a flat fact source; per-peer data is unavailable"
+            )
+        self._peer_data[peer_name] = instance
+        self._combined = None
+
+    def _data(self, override: Union[FactsLike, Mapping[str, Instance], None]) -> FactsLike:
+        if override is not None:
+            return combine_if_per_peer(override)
+        if self._flat_data is not None:
+            return self._flat_data
+        if self._combined is None:
+            self._combined = combine_peer_instances(self._peer_data)
+        return self._combined
+
+    # -- catalogue churn -----------------------------------------------------------
+
+    def add_peer(self, peer: Union[Peer, str], data: Optional[Instance] = None) -> Peer:
+        """Register a peer joining the system, optionally with its data."""
+        if data is not None and self._flat_data is not None:
+            # Validate before touching the PDMS so a rejected call leaves
+            # the system unchanged (and retryable).
+            raise PDMSConfigurationError(
+                "service holds a flat fact source; per-peer data is unavailable"
+            )
+        added = self._pdms.add_peer(peer)
+        if data is not None:
+            self.set_peer_data(added.name, data)
+        self._sync()
+        return added
+
+    def add_peer_mapping(self, mapping: AnyPeerMapping) -> AnyPeerMapping:
+        """Register a peer mapping; invalidates only provenance-affected entries."""
+        added = self._pdms.add_peer_mapping(mapping)
+        self._sync()
+        return added
+
+    def add_storage_description(self, description: StorageDescription) -> StorageDescription:
+        """Register a storage description; invalidates only affected entries."""
+        added = self._pdms.add_storage_description(description)
+        self._sync()
+        return added
+
+    def remove_peer(self, peer_name: str) -> CatalogueChange:
+        """Remove a peer, its descriptions, and its per-peer data."""
+        change = self._pdms.remove_peer(peer_name)
+        if self._peer_data.pop(peer_name, None) is not None:
+            self._combined = None
+        self._sync()
+        return change
+
+    def remove_peer_mapping(self, name: str) -> CatalogueChange:
+        """Remove the peer mapping called ``name``."""
+        change = self._pdms.remove_peer_mapping(name)
+        self._sync()
+        return change
+
+    def _sync(self) -> None:
+        """Replay PDMS catalogue changes and evict affected cache entries."""
+        if self._seen_version == self._pdms.catalogue_version:
+            return
+        for change in self._pdms.changes_since(self._seen_version):
+            if change.full:
+                # The bounded change log no longer covers our cursor;
+                # selective invalidation is impossible.
+                self._stats.invalidations += len(self._cache)
+                self._cache.clear()
+                break
+            if not (change.affected_predicates or change.removed_origins):
+                continue
+            stale = [
+                signature
+                for signature, result in self._cache.items()
+                if result.provenance.affected_by(
+                    change.affected_predicates, change.removed_origins
+                )
+            ]
+            for signature in stale:
+                del self._cache[signature]
+            self._stats.invalidations += len(stale)
+        self._seen_version = self._pdms.catalogue_version
+
+    # -- the reformulation cache -----------------------------------------------------
+
+    def reformulate(self, query: ConjunctiveQuery) -> ReformulationResult:
+        """The (cached) reformulation serving ``query``.
+
+        The returned result is built for the *canonical* form of the
+        query: variables are positionally renamed and the head predicate
+        is ``__q__``, but head argument positions — and therefore answer
+        rows — match the original query exactly.
+        """
+        return self._lookup(canonicalize_query(query))
+
+    def _lookup(self, canonical: CanonicalQuery) -> ReformulationResult:
+        self._sync()
+        result = self._cache.get(canonical.signature)
+        if result is not None:
+            self._stats.hits += 1
+            self._cache.move_to_end(canonical.signature)
+            return result
+        self._stats.misses += 1
+        result = reformulate(self._pdms, canonical.query, config=self._config)
+        # No eager materialisation: a cold `limit=k` call consumes only a
+        # prefix of the rewriting enumeration, and the result memoizes
+        # whatever it produced so future hits continue where it stopped.
+        self._cache[canonical.signature] = result
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+            self._stats.evictions += 1
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop every cached reformulation (counters are preserved)."""
+        self._cache.clear()
+
+    # -- answering -------------------------------------------------------------------
+
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        limit: Optional[int] = None,
+        engine: Optional[str] = None,
+        data: Union[FactsLike, Mapping[str, Instance], None] = None,
+    ) -> Set[Row]:
+        """Answer ``query`` over the service's data (set semantics).
+
+        With ``limit=k`` the evaluation streams: rewritings are pulled
+        from the (cached) reformulation one at a time and evaluation
+        stops once ``k`` distinct answers are known — a subset of the
+        full answer set.
+        """
+        result = self.reformulate(query)
+        return evaluate_reformulation(
+            result,
+            self._data(data),
+            engine=engine if engine is not None else self._engine,
+            limit=limit,
+        )
+
+    def stream(
+        self,
+        query: ConjunctiveQuery,
+        engine: Optional[str] = None,
+        data: Union[FactsLike, Mapping[str, Instance], None] = None,
+    ) -> Iterator[Row]:
+        """Yield distinct answers to ``query`` as rewritings evaluate.
+
+        The iterator is a *snapshot*: it keeps evaluating the
+        reformulation that was cached when it was created, even if the
+        catalogue changes (and the cache entry is evicted) while it is
+        being consumed.  Callers who need post-churn answers should call
+        :meth:`answer` (or :meth:`stream` again) after the change.
+        """
+        result = self.reformulate(query)
+        return stream_answers(
+            result,
+            self._data(data),
+            engine=engine if engine is not None else self._engine,
+        )
+
+    def answer_batch(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        limit: Optional[int] = None,
+        engine: Optional[str] = None,
+        data: Union[FactsLike, Mapping[str, Instance], None] = None,
+    ) -> List[Set[Row]]:
+        """Answer a query mix over one shared combined instance and cache.
+
+        The combined instance is assembled once for the whole batch and
+        every query goes through the reformulation cache, so repeated or
+        isomorphic queries in the mix are reformulated once.
+        """
+        shared = self._data(data)
+        return [
+            self.answer(query, limit=limit, engine=engine, data=shared)
+            for query in queries
+        ]
+
+    def warm(self, queries: Sequence[ConjunctiveQuery]) -> int:
+        """Pre-populate the cache for a query mix; returns the miss count."""
+        before = self._stats.misses
+        for query in queries:
+            self.reformulate(query)
+        return self._stats.misses - before
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self._pdms.name!r}: {len(self._cache)} cached, "
+            f"v{self._pdms.catalogue_version}, "
+            f"{self._stats.hits}h/{self._stats.misses}m)"
+        )

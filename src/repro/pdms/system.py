@@ -39,6 +39,34 @@ AnyPeerMapping = Union[InclusionMapping, EqualityMapping, DefinitionalMapping]
 
 
 @dataclass(frozen=True)
+class CatalogueChange:
+    """One catalogue mutation, as recorded in the PDMS change log.
+
+    ``affected_predicates`` over-approximates the predicates whose
+    reformulation behaviour may differ after the change: goal nodes over
+    them may gain or lose expansions, or their stored/productive status
+    may flip.  ``removed_origins`` names descriptions that no longer
+    exist; any cached reformulation whose rule-goal tree used one of them
+    is stale.  :class:`repro.pdms.service.QueryService` consumes these to
+    invalidate only the affected cache entries.
+    """
+
+    version: int
+    kind: str
+    affected_predicates: frozenset = frozenset()
+    removed_origins: frozenset = frozenset()
+    #: ``True`` for the synthetic change returned when the requested
+    #: history has been pruned from the bounded log: the caller cannot
+    #: invalidate selectively and must treat *everything* as affected.
+    full: bool = False
+
+
+#: Retained change-log length; older entries are pruned and reads that
+#: reach past the window degrade to one full-invalidation change.
+MAX_CHANGE_LOG = 4096
+
+
+@dataclass(frozen=True)
 class NormalizedRule:
     """A definitional rule in the normalised catalogue.
 
@@ -106,6 +134,32 @@ class NormalizedCatalogue:
                     inclusion
                 )
 
+    def add_entries(
+        self,
+        rules: Iterable[NormalizedRule] = (),
+        inclusions: Iterable[NormalizedInclusion] = (),
+        stored: Iterable[str] = (),
+    ) -> None:
+        """Append entries and update the indexes in place (incremental add)."""
+        for rule in rules:
+            self.rules.append(rule)
+            self.rules_by_head.setdefault(rule.head_predicate, []).append(rule)
+        for inclusion in inclusions:
+            self.inclusions.append(inclusion)
+            for predicate in inclusion.body_predicates():
+                self.inclusions_by_body_predicate.setdefault(predicate, []).append(
+                    inclusion
+                )
+        if stored:
+            self.stored_relations = self.stored_relations | frozenset(stored)
+
+    def remove_origins(self, origins: frozenset, stored: frozenset) -> None:
+        """Drop every entry whose origin is in ``origins``; reset stored set."""
+        self.rules = [r for r in self.rules if r.origin not in origins]
+        self.inclusions = [i for i in self.inclusions if i.origin not in origins]
+        self.stored_relations = stored
+        self.index()
+
     def definitional_for(self, predicate: str) -> Sequence[NormalizedRule]:
         """Definitional rules whose head is ``predicate``."""
         return tuple(self.rules_by_head.get(predicate, ()))
@@ -133,18 +187,193 @@ class PDMS:
         self._storage_descriptions: List[StorageDescription] = []
         self._peer_mappings: List[AnyPeerMapping] = []
         self._catalogue: Optional[NormalizedCatalogue] = None
+        self._version: int = 0
+        self._changes: List[CatalogueChange] = []
+        #: Description/mapping names in use.  Names double as catalogue
+        #: *origins* (provenance, no-reuse rule, removal by origin), so
+        #: they must be unique across mappings and storage descriptions.
+        self._origins: set = set()
+        #: Stored relations declared implicitly by add_storage_description,
+        #: as (peer, relation) — removed again when their last description
+        #: disappears, unlike explicitly declared stored relations.
+        self._auto_declared: set = set()
+
+    def _claim_origin(self, name: str) -> None:
+        if name in self._origins:
+            raise MappingError(
+                f"description name {name!r} is already in use; names are "
+                f"catalogue origins and must be unique"
+            )
+        self._origins.add(name)
+
+    # -- versioning ----------------------------------------------------------------
+
+    @property
+    def catalogue_version(self) -> int:
+        """Monotonically increasing counter, bumped on every mutation."""
+        return self._version
+
+    def changes_since(self, version: int) -> Tuple[CatalogueChange, ...]:
+        """All recorded changes with ``change.version > version``.
+
+        O(answer size): versions are assigned contiguously (every mutation
+        appends exactly one change), so the suffix is an index slice.  If
+        ``version`` predates the bounded log's retention window, a single
+        synthetic change with ``full=True`` is returned — the caller must
+        then invalidate wholesale rather than selectively.
+        """
+        if version >= self._version or not self._changes:
+            return ()
+        first_retained = self._changes[0].version
+        if version < first_retained - 1:
+            return (
+                CatalogueChange(
+                    version=self._version, kind="history-truncated", full=True
+                ),
+            )
+        return tuple(self._changes[version + 1 - first_retained:])
+
+    def _record_change(
+        self,
+        kind: str,
+        affected: Iterable[str] = (),
+        removed_origins: Iterable[str] = (),
+    ) -> CatalogueChange:
+        self._version += 1
+        change = CatalogueChange(
+            version=self._version,
+            kind=kind,
+            affected_predicates=frozenset(affected),
+            removed_origins=frozenset(removed_origins),
+        )
+        self._changes.append(change)
+        if len(self._changes) > MAX_CHANGE_LOG:
+            del self._changes[: len(self._changes) - MAX_CHANGE_LOG]
+        return change
 
     # -- peers ---------------------------------------------------------------------
 
     def add_peer(self, peer: Union[Peer, str]) -> Peer:
-        """Register a peer (created on the fly when given a name)."""
+        """Register a peer (created on the fly when given a name).
+
+        The normalised catalogue is maintained incrementally: joining a
+        peer that brings no descriptions yet affects no catalogue entry,
+        so existing reformulations stay valid (the paper's ad hoc ECC
+        join only becomes visible once its mappings are added).
+        """
         if isinstance(peer, str):
             peer = Peer(peer)
         if peer.name in self._peers:
             raise PDMSConfigurationError(f"duplicate peer name {peer.name!r}")
         self._peers[peer.name] = peer
-        self._catalogue = None
+        new_stored = frozenset(peer.stored_relation_names())
+        if new_stored and self._catalogue is not None:
+            if self._stored_flags_stale(new_stored):
+                self._catalogue = None
+            else:
+                self._catalogue.add_entries(stored=new_stored)
+        self._record_change("add-peer", affected=new_stored)
         return peer
+
+    def remove_peer(self, peer_name: str) -> CatalogueChange:
+        """Remove a peer plus every description that references it.
+
+        Storage descriptions owned by (or querying) the peer and peer
+        mappings mentioning any of its relations are dropped; the
+        normalised catalogue is updated incrementally.  Returns the
+        recorded :class:`CatalogueChange`, whose ``removed_origins`` and
+        ``affected_predicates`` let caches invalidate precisely.
+        """
+        try:
+            peer = self._peers.pop(peer_name)
+        except KeyError as exc:
+            raise PDMSConfigurationError(f"no peer named {peer_name!r}") from exc
+
+        removed_origins: set = set()
+        affected: set = set(peer.peer_relation_names())
+        affected.update(peer.stored_relation_names())
+
+        kept_descriptions: List[StorageDescription] = []
+        removed_descriptions: List[StorageDescription] = []
+        for description in self._storage_descriptions:
+            if description.peer == peer_name or peer_name in description.references_peers():
+                removed_origins.add(description.name)
+                affected.add(description.relation)
+                affected.update(description.query.predicates())
+                removed_descriptions.append(description)
+            else:
+                kept_descriptions.append(description)
+        self._storage_descriptions = kept_descriptions
+        self._auto_declared = {
+            (owner, relation)
+            for owner, relation in self._auto_declared
+            if owner != peer_name
+        }
+        # A cross-peer description may have auto-declared its stored
+        # relation on a *surviving* owner peer; undeclare it again unless
+        # another description still defines it, so no phantom stored
+        # relation outlives its descriptions.
+        still_defined = {
+            (d.peer, d.relation) for d in kept_descriptions
+        }
+        for description in removed_descriptions:
+            key = (description.peer, description.relation)
+            if (
+                description.peer != peer_name
+                and key in self._auto_declared
+                and key not in still_defined
+            ):
+                self._peers[description.peer].remove_stored_relation(description.relation)
+                self._auto_declared.discard(key)
+
+        kept_mappings: List[AnyPeerMapping] = []
+        for mapping in self._peer_mappings:
+            if peer_name in mapping.references_peers():
+                removed_origins.add(mapping.name)
+                # Only goals over these predicates can gain or lose
+                # expansions from this mapping's presence; reformulations
+                # that merely mention the mapping's other predicates are
+                # untouched by its removal (they are caught through
+                # ``used_origins`` when they actually applied it).
+                affected.update(self._mapping_expansion_predicates(mapping))
+            else:
+                kept_mappings.append(mapping)
+        self._peer_mappings = kept_mappings
+
+        self._origins -= removed_origins
+        if self._catalogue is not None:
+            remaining_stored = self.stored_relation_names()
+            self._catalogue.remove_origins(frozenset(removed_origins), remaining_stored)
+            if any(
+                inclusion.stored and inclusion.head_predicate not in remaining_stored
+                for inclusion in self._catalogue.inclusions
+            ):
+                self._catalogue = None
+        return self._record_change(
+            "remove-peer", affected=affected, removed_origins=removed_origins
+        )
+
+    def _mapping_expansion_predicates(self, mapping: AnyPeerMapping) -> frozenset:
+        """Predicates whose goal nodes this mapping can expand.
+
+        This is the invalidation footprint a cache needs for both adding
+        and removing the mapping.
+        """
+        return self._entry_expansion_predicates(*self._normalised_mapping_entries(mapping))
+
+    @staticmethod
+    def _entry_expansion_predicates(
+        rules: Iterable[NormalizedRule], inclusions: Iterable[NormalizedInclusion]
+    ) -> frozenset:
+        """Expansion footprint of normalised entries: definitional rules
+        expand goals over their head predicate, inclusions expand goals
+        over their right-hand-side (body) predicates."""
+        affected: set = set()
+        for rule in rules:
+            affected.add(rule.head_predicate)
+        for inclusion in inclusions:
+            affected.update(inclusion.body_predicates())
+        return frozenset(affected)
 
     def peer(self, name: str) -> Peer:
         """Look up a peer by name."""
@@ -192,6 +421,7 @@ class PDMS:
             raise PDMSConfigurationError(
                 f"storage description references unknown peer {description.peer!r}"
             )
+        self._claim_origin(description.name)
         owner = self._peers[description.peer]
         if description.relation not in owner.stored_relation_names():
             # Auto-declare the stored relation with positional attributes so
@@ -200,8 +430,22 @@ class PDMS:
                 description.relation,
                 [f"a{i}" for i in range(description.arity)],
             )
+            self._auto_declared.add((description.peer, description.relation))
         self._storage_descriptions.append(description)
-        self._catalogue = None
+        if self._catalogue is not None:
+            if self._stored_flags_stale(frozenset({description.relation})):
+                # A pre-existing entry's head just became a stored relation;
+                # its frozen ``stored`` flag is stale — rebuild lazily.
+                self._catalogue = None
+            else:
+                self._catalogue.add_entries(
+                    inclusions=[self._normalised_storage_entry(description)],
+                    stored={description.relation},
+                )
+        self._record_change(
+            "add-storage",
+            affected=description.query.predicates() | {description.relation},
+        )
         return description
 
     def add_peer_mapping(self, mapping: AnyPeerMapping) -> AnyPeerMapping:
@@ -210,9 +454,41 @@ class PDMS:
             mapping, (InclusionMapping, EqualityMapping, DefinitionalMapping)
         ):
             raise MappingError(f"unsupported peer mapping type {type(mapping).__name__}")
+        self._claim_origin(mapping.name)
         self._peer_mappings.append(mapping)
-        self._catalogue = None
+        rules, inclusions = self._normalised_mapping_entries(mapping)
+        if self._catalogue is not None:
+            self._catalogue.add_entries(rules=rules, inclusions=inclusions)
+        self._record_change(
+            "add-mapping", affected=self._entry_expansion_predicates(rules, inclusions)
+        )
         return mapping
+
+    def remove_peer_mapping(self, name: str) -> CatalogueChange:
+        """Remove the peer mapping called ``name`` (its stable origin)."""
+        for index, mapping in enumerate(self._peer_mappings):
+            if mapping.name == name:
+                del self._peer_mappings[index]
+                self._origins.discard(name)
+                if self._catalogue is not None:
+                    self._catalogue.remove_origins(
+                        frozenset({name}), self.stored_relation_names()
+                    )
+                return self._record_change(
+                    "remove-mapping",
+                    affected=self._mapping_expansion_predicates(mapping),
+                    removed_origins={name},
+                )
+        raise MappingError(f"no peer mapping named {name!r}")
+
+    def _stored_flags_stale(self, new_stored: frozenset) -> bool:
+        """Would marking ``new_stored`` as stored relations invalidate the
+        frozen ``stored`` flags of already-normalised catalogue entries?"""
+        assert self._catalogue is not None
+        return any(
+            not inclusion.stored and inclusion.head_predicate in new_stored
+            for inclusion in self._catalogue.inclusions
+        )
 
     def storage_descriptions(self) -> Tuple[StorageDescription, ...]:
         """All storage descriptions (D_N)."""
@@ -234,45 +510,67 @@ class PDMS:
         catalogue = NormalizedCatalogue(stored_relations=self.stored_relation_names())
 
         for mapping in self._peer_mappings:
-            if isinstance(mapping, DefinitionalMapping):
-                catalogue.rules.append(
-                    NormalizedRule(mapping.rule, origin=mapping.name, synthetic=False)
-                )
-            elif isinstance(mapping, InclusionMapping):
-                self._normalise_inclusion(mapping, mapping.name, exact=False, catalogue=catalogue)
-            elif isinstance(mapping, EqualityMapping):
-                forward, backward = mapping.as_inclusions()
-                # Both directions share the equality's origin so the
-                # termination rule treats them as one description.
-                self._normalise_inclusion(forward, mapping.name, exact=True, catalogue=catalogue)
-                self._normalise_inclusion(backward, mapping.name, exact=True, catalogue=catalogue)
+            rules, inclusions = self._normalised_mapping_entries(mapping)
+            catalogue.rules.extend(rules)
+            catalogue.inclusions.extend(inclusions)
 
         for description in self._storage_descriptions:
-            head = Atom(description.relation, description.query.head.args)
-            view = View(
-                ConjunctiveQuery(head, description.query.body),
-                ViewKind.EXACT if description.exact else ViewKind.CONTAINED,
-            )
-            catalogue.inclusions.append(
-                NormalizedInclusion(view, origin=description.name, stored=True)
-            )
+            catalogue.inclusions.append(self._normalised_storage_entry(description))
 
         catalogue.index()
         return catalogue
+
+    def _normalised_mapping_entries(
+        self, mapping: AnyPeerMapping
+    ) -> Tuple[List[NormalizedRule], List[NormalizedInclusion]]:
+        """Normalise one peer mapping into catalogue entries (Step 1)."""
+        rules: List[NormalizedRule] = []
+        inclusions: List[NormalizedInclusion] = []
+        if isinstance(mapping, DefinitionalMapping):
+            rules.append(
+                NormalizedRule(mapping.rule, origin=mapping.name, synthetic=False)
+            )
+        elif isinstance(mapping, InclusionMapping):
+            self._normalise_inclusion(
+                mapping, mapping.name, exact=False, rules=rules, inclusions=inclusions
+            )
+        elif isinstance(mapping, EqualityMapping):
+            forward, backward = mapping.as_inclusions()
+            # Both directions share the equality's origin so the
+            # termination rule treats them as one description.
+            self._normalise_inclusion(
+                forward, mapping.name, exact=True, rules=rules, inclusions=inclusions
+            )
+            self._normalise_inclusion(
+                backward, mapping.name, exact=True, rules=rules, inclusions=inclusions
+            )
+        return rules, inclusions
+
+    def _normalised_storage_entry(
+        self, description: StorageDescription
+    ) -> NormalizedInclusion:
+        """Normalise one storage description into its catalogue inclusion."""
+        head = Atom(description.relation, description.query.head.args)
+        view = View(
+            ConjunctiveQuery(head, description.query.body),
+            ViewKind.EXACT if description.exact else ViewKind.CONTAINED,
+        )
+        return NormalizedInclusion(view, origin=description.name, stored=True)
 
     def _normalise_inclusion(
         self,
         mapping: InclusionMapping,
         origin: str,
         exact: bool,
-        catalogue: NormalizedCatalogue,
+        rules: List[NormalizedRule],
+        inclusions: List[NormalizedInclusion],
     ) -> None:
         kind = ViewKind.EXACT if exact else ViewKind.CONTAINED
         if mapping.left_is_single_atom():
             head_predicate = mapping.left.relational_body()[0].predicate
             head = Atom(head_predicate, mapping.right.head.args)
             view = View(ConjunctiveQuery(head, mapping.right.body), kind)
-            catalogue.inclusions.append(
+            inclusions.append(
                 NormalizedInclusion(
                     view,
                     origin=origin,
@@ -284,12 +582,10 @@ class PDMS:
         synthetic_predicate = f"__ppl_{mapping.name}"
         view_head = Atom(synthetic_predicate, mapping.right.head.args)
         view = View(ConjunctiveQuery(view_head, mapping.right.body), kind)
-        catalogue.inclusions.append(
-            NormalizedInclusion(view, origin=origin, stored=False)
-        )
+        inclusions.append(NormalizedInclusion(view, origin=origin, stored=False))
         rule_head = Atom(synthetic_predicate, mapping.left.head.args)
         rule = DatalogRule(rule_head, mapping.left.body)
-        catalogue.rules.append(NormalizedRule(rule, origin=origin, synthetic=True))
+        rules.append(NormalizedRule(rule, origin=origin, synthetic=True))
 
     # -- high-level operations ------------------------------------------------------------
 

@@ -1,5 +1,14 @@
 """Workload generation: the Section-5 synthetic generator and the Figure-1 scenario."""
 
+from .churn import (
+    BASE_DATA_KEY,
+    ChurnEvent,
+    ChurnParameters,
+    ChurnReport,
+    ChurnScenario,
+    SatelliteSpec,
+    generate_churn_scenario,
+)
 from .data import populate_stored_relations, populate_workload
 from .generator import GeneratedWorkload, GeneratorParameters, generate_runs, generate_workload
 from .scenarios import (
@@ -10,6 +19,13 @@ from .scenarios import (
 )
 
 __all__ = [
+    "BASE_DATA_KEY",
+    "ChurnEvent",
+    "ChurnParameters",
+    "ChurnReport",
+    "ChurnScenario",
+    "SatelliteSpec",
+    "generate_churn_scenario",
     "GeneratedWorkload",
     "GeneratorParameters",
     "add_earthquake_command_center",

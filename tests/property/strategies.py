@@ -97,6 +97,86 @@ def constraint_sets(draw, max_size=5):
     return ConstraintSet(draw(st.lists(comparison_atoms(), min_size=0, max_size=max_size)))
 
 
+# ---------------------------------------------------------------------------
+# Random small PDMSs plus catalogue-churn sequences (service-layer tests)
+# ---------------------------------------------------------------------------
+
+#: Rows for generated stored relations (small domain keeps joins likely).
+pdms_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=5
+)
+
+
+@st.composite
+def pdms_specs(draw):
+    """A *spec* (pure data) for a small two-tier tractable PDMS.
+
+    Bottom peers ``B{i}`` store their single binary relation verbatim;
+    top-peer relations ``T:t{j}`` are wired to the bottom by definitional
+    chains (GAV) and/or single-atom inclusions (LAV) — the acyclic
+    fragment of Theorem 3.2, on which the reformulation algorithm is
+    complete and the chase oracle exact.  Returned as a dict so each test
+    example can build as many fresh :class:`~repro.pdms.system.PDMS`
+    objects as it needs.
+    """
+    num_bottom = draw(st.integers(min_value=1, max_value=2))
+    bottom = []
+    for i in range(num_bottom):
+        bottom.append({
+            "peer": f"B{i}",
+            "relation": f"B{i}:r{i}",
+            "stored": f"s{i}",
+            "rows": draw(pdms_rows),
+        })
+    bottom_relations = [entry["relation"] for entry in bottom]
+
+    num_top = draw(st.integers(min_value=1, max_value=2))
+    top_relations = [f"T:t{j}" for j in range(num_top)]
+    mappings = []
+    for j, top_relation in enumerate(top_relations):
+        for k in range(draw(st.integers(min_value=1, max_value=2))):
+            kind = draw(st.sampled_from(["definitional", "inclusion"]))
+            if kind == "definitional":
+                chain = draw(st.lists(
+                    st.sampled_from(bottom_relations), min_size=1, max_size=2))
+                mappings.append({
+                    "kind": kind, "name": f"def_{j}_{k}",
+                    "head": top_relation, "chain": chain,
+                })
+            else:
+                mappings.append({
+                    "kind": kind, "name": f"incl_{j}_{k}",
+                    "left": draw(st.sampled_from(bottom_relations)),
+                    "right": top_relation,
+                })
+
+    queries = draw(st.lists(
+        st.lists(st.sampled_from(top_relations), min_size=1, max_size=2),
+        min_size=1, max_size=3,
+    ))
+    return {
+        "bottom": bottom,
+        "top_relations": top_relations,
+        "mappings": mappings,
+        "queries": queries,
+    }
+
+
+@st.composite
+def churn_specs(draw, max_satellites=2):
+    """Satellite peers that join/leave a spec'd PDMS mid-query-stream."""
+    satellites = []
+    for i in range(draw(st.integers(min_value=1, max_value=max_satellites))):
+        satellites.append({
+            "peer": f"SAT{i}",
+            "relation": f"SAT{i}:x{i}",
+            "role": draw(st.sampled_from(["provider", "consumer"])),
+            "target_index": draw(st.integers(min_value=0, max_value=7)),
+            "rows": draw(pdms_rows),
+        })
+    return satellites
+
+
 @st.composite
 def lav_views(draw, max_views=3):
     """A set of LAV views over the fixed vocabulary, with distinct names."""

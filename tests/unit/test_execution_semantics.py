@@ -4,11 +4,13 @@ import pytest
 
 from repro.database import Instance
 from repro.datalog import parse_atom, parse_query
+from repro.errors import EvaluationError, MappingError
 from repro.pdms import (
     PDMS,
     DefinitionalMapping,
     StorageDescription,
     answer_query,
+    answer_query_batch,
     build_canonical_instance,
     certain_answers,
     combine_peer_instances,
@@ -17,6 +19,7 @@ from repro.pdms import (
     lav_style,
     reformulate,
     replication,
+    stream_answers,
 )
 
 
@@ -60,6 +63,106 @@ class TestExecution:
         answers = two_peer_pdms.answer(
             parse_query("Q(y) :- A:R(1, y)"), {"stored_s": [(1, 2), (5, 6)]})
         assert answers == {(2,)}
+
+
+class TestCombinePeerInstances:
+    def test_no_clash_same_relation_same_arity(self):
+        """Identical relation names with matching arity union cleanly."""
+        first = Instance.from_dict({"shared": [(1, 2)], "only_a": [(7,)]})
+        second = Instance.from_dict({"shared": [(3, 4)]})
+        combined = combine_peer_instances({"A": first, "B": second})
+        assert set(combined.get_tuples("shared")) == {(1, 2), (3, 4)}
+        assert set(combined.get_tuples("only_a")) == {(7,)}
+
+    def test_arity_clash_raises_naming_both_peers(self):
+        first = Instance.from_dict({"s": [(1, 2)]})
+        second = Instance.from_dict({"s": [(3,)]})
+        with pytest.raises(MappingError) as excinfo:
+            combine_peer_instances({"A": first, "B": second})
+        message = str(excinfo.value)
+        assert "'A'" in message and "'B'" in message and "'s'" in message
+        assert "arity 2" in message and "arity 1" in message
+
+    def test_arity_clash_detected_eagerly_even_for_empty_overlap(self):
+        """The clash is detected from declared arities, before any row merge."""
+        schema_less = Instance()
+        schema_less.add("t", (1, 2, 3))
+        other = Instance.from_dict({"t": [(0, 0)]})
+        with pytest.raises(MappingError):
+            combine_peer_instances({"X": schema_less, "Y": other})
+
+    def test_empty_mapping_gives_empty_instance(self):
+        combined = combine_peer_instances({})
+        assert combined.total_rows() == 0
+
+
+class TestStreamingAndLimit:
+    def test_limit_returns_subset_of_full_answers(self, two_peer_pdms):
+        data = {"stored_s": [(i, i + 1) for i in range(6)]}
+        query = parse_query("Q(x, y) :- A:R(x, y)")
+        full = answer_query(two_peer_pdms, query, data)
+        for k in range(len(full) + 2):
+            limited = answer_query(two_peer_pdms, query, data, limit=k)
+            assert limited <= full
+            assert len(limited) == min(k, len(full))
+
+    def test_negative_limit_rejected(self, two_peer_pdms):
+        with pytest.raises(EvaluationError):
+            answer_query(
+                two_peer_pdms, parse_query("Q(x) :- A:R(x, y)"),
+                {"stored_s": [(1, 2)]}, limit=-1)
+
+    def test_stream_answers_yields_distinct_rows(self, two_peer_pdms):
+        result = reformulate(two_peer_pdms, parse_query("Q(x) :- A:R(x, y)"))
+        rows = list(stream_answers(result, {"stored_s": [(1, 2), (1, 3), (4, 5)]}))
+        assert len(rows) == len(set(rows))
+        assert set(rows) == {(1,), (4,)}
+
+    def test_limit_stops_before_exhausting_rewritings(self, two_peer_pdms):
+        """A satisfied limit must not force the full rewriting enumeration."""
+        result = reformulate(two_peer_pdms, parse_query("Q(x, y) :- A:R(x, y)"))
+        consumed = []
+        original = result.rewritings
+
+        def counting():
+            for rewriting in original():
+                consumed.append(rewriting)
+                yield rewriting
+
+        result.rewritings = counting
+        answers = evaluate_reformulation(result, {"stored_s": [(1, 2), (3, 4)]}, limit=1)
+        assert len(answers) == 1
+        assert len(consumed) <= 1
+
+    def test_engine_validation(self, two_peer_pdms):
+        result = reformulate(two_peer_pdms, parse_query("Q(x) :- A:R(x, y)"))
+        with pytest.raises(EvaluationError):
+            evaluate_reformulation(result, {"stored_s": []}, engine="nope")
+
+    def test_both_engines_agree(self, two_peer_pdms):
+        data = {"stored_s": [(1, 2), (2, 3), (3, 1)]}
+        query = parse_query("Q(x, z) :- A:R(x, y), A:R(y, z)")
+        result = reformulate(two_peer_pdms, query)
+        assert evaluate_reformulation(result, data, engine="backtracking") == \
+            evaluate_reformulation(result, data, engine="plan")
+
+
+class TestAnswerBatch:
+    def test_batch_matches_individual_answers(self, two_peer_pdms):
+        per_peer = {"B": Instance.from_dict({"stored_s": [(1, 2), (2, 3)]})}
+        queries = [
+            parse_query("Q(x, y) :- A:R(x, y)"),
+            parse_query("Q(x) :- A:R(x, y)"),
+            parse_query("Q(x, z) :- A:R(x, y), A:R(y, z)"),
+        ]
+        batch = answer_query_batch(two_peer_pdms, queries, per_peer)
+        assert batch == [answer_query(two_peer_pdms, q, per_peer) for q in queries]
+
+    def test_batch_with_limit(self, two_peer_pdms):
+        data = {"stored_s": [(i, i) for i in range(5)]}
+        batch = answer_query_batch(
+            two_peer_pdms, [parse_query("Q(x, y) :- A:R(x, y)")], data, limit=2)
+        assert len(batch) == 1 and len(batch[0]) == 2
 
 
 class TestConsistency:

@@ -124,11 +124,161 @@ class TestNormalisation:
         assert catalogue.inclusions[0].stored
         assert catalogue.is_stored("s")
 
-    def test_catalogue_cache_invalidation(self):
+    def test_catalogue_updated_incrementally_on_mapping_add(self):
         pdms = _small_pdms()
         first = pdms.catalogue()
+        assert len(first.rules) == 0
         pdms.add_peer_mapping(DefinitionalMapping(parse_query("A:R(x, y) :- B:S(x, y)")))
         second = pdms.catalogue()
-        assert first is not second
+        # The normalised catalogue is maintained in place, not rebuilt.
+        assert first is second
         assert len(second.rules) == 1
-        assert pdms.catalogue() is second  # cached until the next change
+        assert second.definitional_for("A:R")
+
+
+def _catalogue_fingerprint(catalogue):
+    """Order-insensitive content signature of a normalised catalogue."""
+    return (
+        frozenset((str(r.rule), r.origin, r.synthetic) for r in catalogue.rules),
+        frozenset(
+            (str(i.view.definition), i.origin, i.stored) for i in catalogue.inclusions
+        ),
+        catalogue.stored_relations,
+        {p: len(rs) for p, rs in catalogue.rules_by_head.items() if rs},
+        {p: len(is_) for p, is_ in catalogue.inclusions_by_body_predicate.items() if is_},
+    )
+
+
+class TestIncrementalCatalogue:
+    """The incrementally maintained catalogue must equal a fresh rebuild."""
+
+    def _mutations(self, pdms: PDMS):
+        yield pdms.catalogue()  # force the initial build, then mutate
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:S(x, y)"), name="m1"))
+        yield
+        pdms.add_storage_description(StorageDescription(
+            "B", "sb", parse_query("V(x, y) :- B:S(x, y)"), name="st1"))
+        yield
+        c = pdms.add_peer("C")
+        c.add_relation("T", ["x", "y"])
+        yield
+        pdms.add_peer_mapping(InclusionMapping(
+            parse_query("L(x) :- C:T(x, y)"),
+            parse_query("R(x) :- A:R(x, z)"), name="m2"))
+        yield
+        pdms.add_peer_mapping(replication(
+            parse_atom("C:T(x, y)"), parse_atom("B:S(x, y)"), name="m3"))
+        yield
+        pdms.add_storage_description(StorageDescription(
+            "C", "sc", parse_query("V(x) :- C:T(x, x)"), name="st2"))
+        yield
+        pdms.remove_peer_mapping("m1")
+        yield
+        pdms.remove_peer("C")
+        yield
+
+    def test_incremental_equals_rebuild_after_every_mutation(self):
+        pdms = _small_pdms()
+        for _ in self._mutations(pdms):
+            incremental = pdms.catalogue()
+            rebuilt = pdms._normalise()
+            assert _catalogue_fingerprint(incremental) == _catalogue_fingerprint(rebuilt)
+
+    def test_version_bumps_on_every_mutation(self):
+        pdms = _small_pdms()
+        seen = [pdms.catalogue_version]
+        for _ in self._mutations(pdms):
+            seen.append(pdms.catalogue_version)
+        assert seen == sorted(seen)
+        assert len(set(seen[1:])) == len(seen[1:])
+
+
+class TestPeerRemoval:
+    def test_remove_unknown_peer_raises(self):
+        pdms = _small_pdms()
+        with pytest.raises(PDMSConfigurationError):
+            pdms.remove_peer("nope")
+
+    def test_remove_unknown_mapping_raises(self):
+        pdms = _small_pdms()
+        with pytest.raises(MappingError):
+            pdms.remove_peer_mapping("nope")
+
+    def test_remove_peer_drops_its_descriptions(self):
+        pdms = _small_pdms()
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:S(x, y)"), name="ab"))
+        pdms.add_storage_description(StorageDescription(
+            "B", "sb", parse_query("V(x, y) :- B:S(x, y)"), name="store_b"))
+        pdms.add_storage_description(StorageDescription(
+            "A", "sa", parse_query("V(x, y) :- A:R(x, y)"), name="store_a"))
+        change = pdms.remove_peer("B")
+        assert "B" not in pdms
+        assert change.removed_origins == {"ab", "store_b"}
+        assert {d.name for d in pdms.storage_descriptions()} == {"store_a"}
+        assert pdms.peer_mappings() == ()
+        assert pdms.stored_relation_names() == frozenset({"sa"})
+
+    def test_remove_peer_drops_descriptions_referencing_it(self):
+        """A storage description at A querying B's relations dies with B."""
+        pdms = _small_pdms()
+        pdms.add_storage_description(StorageDescription(
+            "A", "cross", parse_query("V(x) :- A:R(x, y), B:S(y, x)"), name="cross_d"))
+        change = pdms.remove_peer("B")
+        assert "cross_d" in change.removed_origins
+        assert pdms.storage_descriptions() == ()
+
+    def test_duplicate_description_names_rejected(self):
+        """Names double as catalogue origins; collisions would desync the
+        incremental catalogue from the registered descriptions."""
+        pdms = _small_pdms()
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:S(x, y)"), name="dup"))
+        with pytest.raises(MappingError):
+            pdms.add_peer_mapping(DefinitionalMapping(
+                parse_query("A:R(y, x) :- B:S(x, y)"), name="dup"))
+        with pytest.raises(MappingError):
+            pdms.add_storage_description(StorageDescription(
+                "B", "sb", parse_query("V(x, y) :- B:S(x, y)"), name="dup"))
+        # The name is reusable once its owner is removed.
+        pdms.remove_peer_mapping("dup")
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:S(x, y)"), name="dup"))
+
+    def test_remove_peer_undeclares_auto_declared_cross_peer_stored_relation(self):
+        """A cross-peer description's auto-declared stored relation must not
+        outlive the description as a phantom stored relation."""
+        pdms = _small_pdms()
+        pdms.add_storage_description(StorageDescription(
+            "A", "cross", parse_query("V(x) :- A:R(x, y), B:S(y, x)"), name="cd"))
+        assert pdms.is_stored_relation("cross")
+        pdms.remove_peer("B")
+        assert not pdms.is_stored_relation("cross")
+        assert pdms.catalogue().stored_relations == frozenset()
+
+    def test_remove_peer_keeps_explicitly_declared_stored_relations(self):
+        pdms = _small_pdms()
+        pdms.peer("A").add_stored_relation("explicit", ["x"])
+        pdms.add_storage_description(StorageDescription(
+            "A", "explicit", parse_query("V(y) :- B:S(y, y)"), name="ed"))
+        pdms.remove_peer("B")
+        # The description dies with B, but the user-declared relation stays.
+        assert pdms.is_stored_relation("explicit")
+
+    def test_change_log_reports_affected_predicates(self):
+        pdms = _small_pdms()
+        version = pdms.catalogue_version
+        pdms.add_peer_mapping(DefinitionalMapping(
+            parse_query("A:R(x, y) :- B:S(x, y)"), name="ab"))
+        (change,) = pdms.changes_since(version)
+        assert change.kind == "add-mapping"
+        assert change.affected_predicates == frozenset({"A:R"})
+
+    def test_inclusion_add_affects_right_hand_side_predicates(self):
+        pdms = _small_pdms()
+        version = pdms.catalogue_version
+        pdms.add_peer_mapping(lav_style(
+            parse_atom("B:S(x, y)"), parse_query("R(x, y) :- A:R(x, y)"), name="i"))
+        (change,) = pdms.changes_since(version)
+        assert change.affected_predicates == frozenset({"A:R"})

@@ -141,3 +141,65 @@ class TestEmergencyScenario:
         peer_relations = pdms.peer_relation_names()
         for query in example_queries().values():
             assert query.predicates() <= peer_relations
+
+
+class TestChurnScenarios:
+    def test_generation_is_deterministic(self):
+        from repro.workload import ChurnParameters, generate_churn_scenario
+
+        first = generate_churn_scenario(ChurnParameters(seed=7))
+        second = generate_churn_scenario(ChurnParameters(seed=7))
+        assert [e.kind for e in first.events] == [e.kind for e in second.events]
+        assert [str(s.mapping) for s in first.satellites] == \
+            [str(s.mapping) for s in second.satellites]
+
+    def test_event_stream_is_well_formed(self):
+        from repro.workload import ChurnParameters, generate_churn_scenario
+
+        scenario = generate_churn_scenario(ChurnParameters(seed=3, num_events=50))
+        joined = set()
+        for event in scenario.events:
+            if event.kind == "join":
+                assert event.satellite.peer_name not in joined
+                joined.add(event.satellite.peer_name)
+            elif event.kind == "leave":
+                assert event.satellite.peer_name in joined
+                joined.remove(event.satellite.peer_name)
+            else:
+                assert event.query is not None
+
+    def test_replay_with_verification(self):
+        from repro.workload import ChurnParameters, generate_churn_scenario
+        from repro.workload.generator import GeneratorParameters
+
+        scenario = generate_churn_scenario(ChurnParameters(
+            base=GeneratorParameters(num_peers=6, diameter=2, seed=1),
+            num_events=20, seed=1))
+        report = scenario.replay(verify=True)
+        assert report.verified
+        assert report.queries + report.joins + report.leaves == 20
+        assert report.cache_hits + report.cache_misses >= report.queries
+
+    def test_replay_is_repeatable_on_one_service(self):
+        """Replay restores the base catalogue, so sustained-churn loops
+        can drive the same service through the scenario repeatedly."""
+        from repro.workload import ChurnParameters, generate_churn_scenario
+
+        scenario = generate_churn_scenario(ChurnParameters(seed=0))
+        service = scenario.fresh_service()
+        first = scenario.replay(service=service, verify=True)
+        second = scenario.replay(service=service, verify=True)
+        assert second.queries == first.queries
+        # Per-replay counters are deltas, not lifetime totals.
+        assert second.invalidations <= first.invalidations + second.joins * 2
+        assert second.hit_rate >= first.hit_rate  # warm cache on round two
+
+    def test_replay_with_limit(self):
+        from repro.workload import ChurnParameters, generate_churn_scenario
+
+        scenario = generate_churn_scenario(ChurnParameters(seed=5, num_events=15))
+        # replay() itself asserts every limited answer is a subset of the
+        # fresh full answer set with the right cardinality.
+        report = scenario.replay(verify=True, limit=2)
+        assert report.verified
+        assert report.answers_total <= 2 * report.queries
