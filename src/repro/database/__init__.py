@@ -1,9 +1,10 @@
 """Relational database substrate: schemas, instances, and a relational algebra."""
 
-from .algebra import Table, table_from_instance
+from .algebra import Table, table_from_instance, union_many
 from .csvio import load_instance_directory, load_relation_csv, save_relation_csv
 from .instance import Instance
 from .planner import (
+    CardinalityCostModel,
     compile_query,
     compile_union,
     evaluate_query_via_plan,
@@ -13,6 +14,7 @@ from .planner import (
 from .schema import DatabaseSchema, RelationSchema
 
 __all__ = [
+    "CardinalityCostModel",
     "DatabaseSchema",
     "Instance",
     "RelationSchema",
@@ -26,4 +28,5 @@ __all__ = [
     "load_relation_csv",
     "save_relation_csv",
     "table_from_instance",
+    "union_many",
 ]

@@ -140,6 +140,21 @@ class Table:
             )
         return Table(self.columns, set(self.rows) | set(other.rows))
 
+    def distinct(self) -> "Table":
+        """Explicit duplicate elimination.
+
+        Tables are set-semantics already, so this is the identity — but the
+        operator exists so that plans (and any future bag-semantics table)
+        can mark dedup points explicitly rather than relying on the
+        representation.
+        """
+        return self
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        """An empty table with the given column list."""
+        return cls(columns, [])
+
     def difference(self, other: "Table") -> "Table":
         """Set difference; requires identical column lists."""
         if self.columns != other.columns:
@@ -162,6 +177,27 @@ class Table:
         for row in sorted(self.rows, key=repr):
             lines.append(" | ".join(str(v) for v in row))
         return "\n".join(lines)
+
+
+def union_many(tables: Sequence[Table], columns: Optional[Sequence[str]] = None) -> Table:
+    """Set union of many compatible tables in one pass.
+
+    ``columns`` names the output columns of the empty union; with one or
+    more inputs every table must share the first table's column list.
+    """
+    if not tables:
+        if columns is None:
+            raise EvaluationError("union of zero tables needs explicit columns")
+        return Table.empty(columns)
+    first = tables[0].columns
+    rows: Set[Row] = set()
+    for table in tables:
+        if table.columns != first:
+            raise EvaluationError(
+                f"union requires identical columns: {first} vs {table.columns}"
+            )
+        rows |= table.rows
+    return Table(first, rows)
 
 
 def table_from_instance(instance, relation: str, columns: Optional[Sequence[str]] = None) -> Table:

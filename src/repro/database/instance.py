@@ -14,6 +14,7 @@ same growing instance.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
 from ..datalog.indexing import Pattern, PredicateIndex
@@ -21,6 +22,37 @@ from ..errors import InstanceError, SchemaError
 from .schema import DatabaseSchema
 
 Row = Tuple[object, ...]
+
+
+class _RelationCreationClock:
+    """A process-wide monotone clock ticked whenever any instance creates
+    a relation.
+
+    Federated views over live instances
+    (:class:`repro.pdms.execution.PeerFactSource`) compare one cached
+    reading against :meth:`read` — a single attribute access — on every
+    probe, and only re-derive their relation-routing tables when the clock
+    moved.  Ticks happen *after* the new relation is visible, so a reader
+    that observes the new clock value also observes the relation; the lock
+    keeps the value strictly monotone under concurrent creators.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def tick(self) -> None:
+        with self._lock:
+            self._value += 1
+
+    def read(self) -> int:
+        return self._value
+
+
+#: The clock shared by every :class:`Instance` in the process.
+relation_creation_clock = _RelationCreationClock()
 
 
 class Instance:
@@ -38,10 +70,13 @@ class Instance:
         self._schema = schema
         self._relations: Dict[str, PredicateIndex] = {}
         self._arities: Dict[str, int] = {}
+        self._relations_version = 0
         if schema is not None:
             for relation in schema:
                 self._relations[relation.name] = PredicateIndex()
                 self._arities[relation.name] = relation.arity
+            self._relations_version = len(self._relations)
+            relation_creation_clock.tick()
 
     # -- FactSource protocol ---------------------------------------------------
 
@@ -83,6 +118,8 @@ class Instance:
         index = self._relations.get(relation)
         if index is None:
             index = self._relations[relation] = PredicateIndex()
+            self._relations_version += 1
+            relation_creation_clock.tick()
         index.add(values)
 
     def add_all(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
@@ -115,6 +152,18 @@ class Instance:
     def relations(self) -> Tuple[str, ...]:
         """Names of relations that currently hold at least one row or are declared."""
         return tuple(self._relations)
+
+    @property
+    def relations_version(self) -> int:
+        """Monotone counter bumped whenever a *new* relation is created.
+
+        Federated views (:class:`repro.pdms.execution.PeerFactSource`) sum
+        it over their owned instances — after the process-wide
+        :data:`relation_creation_clock` signals that *some* instance
+        created a relation — to decide whether their own routing tables
+        actually need re-deriving.
+        """
+        return self._relations_version
 
     def arity(self, relation: str) -> Optional[int]:
         """Arity of ``relation`` (declared or inferred), or ``None`` if unknown."""
@@ -167,6 +216,8 @@ class Instance:
         for name, index in self._relations.items():
             clone._relations[name] = PredicateIndex(index.rows())
             clone._arities[name] = self._arities.get(name, 0)
+        clone._relations_version = len(clone._relations)
+        relation_creation_clock.tick()
         return clone
 
     def merge(self, other: "Instance") -> "Instance":

@@ -33,7 +33,7 @@ from ..datalog.evaluation import FactsLike, as_fact_source
 from ..datalog.queries import ConjunctiveQuery, UnionQuery
 from ..datalog.terms import Constant, Term, Variable, is_variable
 from ..errors import EvaluationError
-from .algebra import Table
+from .algebra import Table, union_many
 
 Row = Tuple[object, ...]
 
@@ -189,6 +189,53 @@ class UnionNode(PlanNode):
 
 
 @dataclass(frozen=True)
+class DistinctNode(PlanNode):
+    """Explicit duplicate elimination over the child's rows.
+
+    Tables are set-semantics, so execution is the identity — the node marks
+    the dedup point of a plan (e.g. the root of a union of rewritings)
+    explicitly instead of leaving it implicit in the representation.
+    """
+
+    child: PlanNode
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.child.output_columns()
+
+    def describe(self) -> str:
+        return "Distinct()"
+
+
+@dataclass(frozen=True)
+class MaterializeNode(PlanNode):
+    """Evaluate the child once per execution and reuse the result.
+
+    Executions that thread a shared *memo* dictionary through
+    :func:`execute_plan` compute the child the first time any materialize
+    node with this ``key`` is reached and serve every later occurrence from
+    the memo — the mechanism behind common-subplan reuse in union plans.
+    Without a memo the node is transparent.  Keys encode plan structure
+    only, not data identity: a memo must never outlive its fact source
+    (use one per evaluation over one unchanged source).
+    """
+
+    child: PlanNode
+    key: str
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.child.output_columns()
+
+    def describe(self) -> str:
+        return f"Materialize({self.key})"
+
+
+@dataclass(frozen=True)
 class EmptyNode(PlanNode):
     """A plan producing no rows (e.g. an empty union)."""
 
@@ -199,6 +246,82 @@ class EmptyNode(PlanNode):
 
     def describe(self) -> str:
         return "Empty()"
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+class CardinalityCostModel:
+    """Per-relation cardinalities of one fact source, cached for planning.
+
+    The model answers two questions the planners ask: how many rows a
+    relation holds (``cardinality``) and how many rows a filtered scan of
+    an atom is expected to produce (``atom_estimate`` — the relation's
+    cardinality shrunk by one notch per pushed-down constant filter and
+    per repeated-variable equality, the same crude heuristic the greedy
+    join order always used).  Cardinalities are read once per relation and
+    cached, so repeated compilations against the same data (a union of
+    rewritings over a handful of stored relations) do not rescan.
+    """
+
+    __slots__ = ("_source", "_cache")
+
+    def __init__(self, facts: Optional[FactsLike] = None):
+        self._source = as_fact_source(facts) if facts is not None else None
+        self._cache: Dict[str, int] = {}
+
+    @classmethod
+    def snapshot(cls, facts: FactsLike) -> "CardinalityCostModel":
+        """A cost model that captures cardinalities eagerly and then drops
+        its reference to the data.
+
+        Safe to keep on long-lived compiled plans: a model built this way
+        never retains the fact source (which may hold a removed peer's
+        instance or a one-off data override).  Requires a source whose
+        relations can be enumerated (a mapping, or anything with a
+        ``relations()`` method — instances and federated sources both
+        qualify); other sources fall back to the live-reference model.
+        """
+        model = cls(facts)
+        names = None
+        if isinstance(facts, Mapping):
+            names = list(facts)
+        else:
+            lister = getattr(facts, "relations", None)
+            if callable(lister):
+                names = list(lister())
+        if names is not None:
+            for relation in names:
+                model.cardinality(relation)
+            model._source = None
+        return model
+
+    def cardinality(self, relation: str) -> int:
+        """Row count of ``relation`` (0 without a source or for unknown names)."""
+        cached = self._cache.get(relation)
+        if cached is not None:
+            return cached
+        if self._source is None:
+            return 0
+        counter = getattr(self._source, "cardinality", None)
+        if callable(counter):
+            cached = counter(relation)
+        else:
+            cached = sum(1 for _ in self._source.get_tuples(relation))
+        self._cache[relation] = cached
+        return cached
+
+    def scan_estimate(self, relation: str, filters: int = 0, equalities: int = 0) -> int:
+        """Estimated output rows of a scan with pushed-down restrictions."""
+        return max(self.cardinality(relation) // (1 + filters + equalities), 0)
+
+    def atom_estimate(self, atom: Atom) -> int:
+        """Estimated rows produced by scanning for one relational atom."""
+        constants = sum(1 for arg in atom.args if not is_variable(arg))
+        variables = [arg for arg in atom.args if is_variable(arg)]
+        repeated = len(variables) - len(set(variables))
+        return self.scan_estimate(atom.predicate, constants, repeated)
 
 
 # ---------------------------------------------------------------------------
@@ -231,30 +354,42 @@ def _scan_for_atom(atom: Atom) -> ScanNode:
     )
 
 
-def _estimate(node: PlanNode, facts) -> int:
+def _estimate(node: PlanNode, cost: CardinalityCostModel) -> int:
     """A crude cardinality estimate used only to pick a greedy join order."""
     if isinstance(node, ScanNode):
-        base = len(list(facts.get_tuples(node.relation)))
-        shrink = 1 + len(node.filters) + len(node.equal_positions)
-        return max(base // shrink, 0)
+        return cost.scan_estimate(
+            node.relation, len(node.filters), len(node.equal_positions)
+        )
     if isinstance(node, JoinNode):  # pragma: no cover - not used during ordering
-        return _estimate(node.left, facts) * max(_estimate(node.right, facts), 1)
+        return _estimate(node.left, cost) * max(_estimate(node.right, cost), 1)
     return 1
 
 
+def _as_cost_model(
+    facts: Optional[FactsLike], cost: Optional[CardinalityCostModel]
+) -> Optional[CardinalityCostModel]:
+    if cost is not None:
+        return cost
+    if facts is not None:
+        return CardinalityCostModel(facts)
+    return None
+
+
 def compile_query(
-    query: ConjunctiveQuery, facts: Optional[FactsLike] = None
+    query: ConjunctiveQuery,
+    facts: Optional[FactsLike] = None,
+    cost: Optional[CardinalityCostModel] = None,
 ) -> PlanNode:
     """Compile one conjunctive query into a logical plan.
 
-    ``facts`` is optional and only used for join-order estimates; without
-    it the body order of the query is kept (still correct, possibly
-    slower).
+    ``facts`` (or an explicit, reusable ``cost`` model) is optional and
+    only used for join-order estimates; without either the body order of
+    the query is kept (still correct, possibly slower).
     """
     relational = query.relational_body()
     if not relational:
         raise EvaluationError("cannot compile a query with no relational atoms")
-    source = as_fact_source(facts) if facts is not None else None
+    cost = _as_cost_model(facts, cost)
 
     scans = [_scan_for_atom(atom) for atom in relational]
 
@@ -262,8 +397,8 @@ def compile_query(
     # repeatedly add the scan that shares variables with the current plan
     # (preferring the smallest), falling back to a cross product only when
     # nothing is connected.
-    if source is not None:
-        remaining = sorted(scans, key=lambda scan: _estimate(scan, source))
+    if cost is not None:
+        remaining = sorted(scans, key=lambda scan: _estimate(scan, cost))
     else:
         remaining = list(scans)
     plan: PlanNode = remaining.pop(0)
@@ -271,8 +406,8 @@ def compile_query(
     while remaining:
         connected = [s for s in remaining if set(s.output_columns()) & bound]
         candidates = connected or remaining
-        if source is not None:
-            nxt = min(candidates, key=lambda scan: _estimate(scan, source))
+        if cost is not None:
+            nxt = min(candidates, key=lambda scan: _estimate(scan, cost))
         else:
             nxt = candidates[0]
         remaining.remove(nxt)
@@ -285,11 +420,40 @@ def compile_query(
     return ProjectNode(plan, tuple(query.head.args))
 
 
-def compile_union(union: UnionQuery, facts: Optional[FactsLike] = None) -> PlanNode:
-    """Compile a union of conjunctive queries into a single plan."""
+def compile_union(
+    union: UnionQuery,
+    facts: Optional[FactsLike] = None,
+    cost: Optional[CardinalityCostModel] = None,
+    share_common: bool = False,
+) -> PlanNode:
+    """Compile a union of conjunctive queries into a single plan.
+
+    With ``share_common``, structurally identical branch subplans are
+    wrapped in :class:`MaterializeNode` operators sharing one key, so an
+    execution that threads a memo dictionary evaluates each distinct
+    branch once; the union root is wrapped in an explicit
+    :class:`DistinctNode`.  (The richer cross-rewriting sharing — common
+    sub-*conjunctions*, not just whole branches — lives in
+    :mod:`repro.pdms.planning`.)
+    """
     if union.is_empty():
         return EmptyNode(union.arity)
-    branches = tuple(compile_query(disjunct, facts) for disjunct in union)
+    cost = _as_cost_model(facts, cost)
+    branches = tuple(compile_query(disjunct, cost=cost) for disjunct in union)
+    if share_common:
+        consed: Dict[PlanNode, MaterializeNode] = {}
+        shared = []
+        for branch in branches:
+            node = consed.get(branch)
+            if node is None:
+                # The key is the branch's full structural rendering, so a
+                # memo dictionary shared across execute_plan calls over the
+                # same data — even for different compiled plans — only ever
+                # reuses a table for a structurally identical subplan.
+                node = MaterializeNode(branch, key=repr(branch))
+                consed[branch] = node
+            shared.append(node)
+        return DistinctNode(UnionNode(tuple(shared), union.arity))
     return UnionNode(branches, union.arity)
 
 
@@ -322,8 +486,8 @@ def _execute_scan(node: ScanNode, facts) -> Table:
     return projected.rename(dict(zip(projected.columns, keep_names)))
 
 
-def _execute_select(node: SelectNode, facts) -> Table:
-    table = execute_plan(node.child, facts)
+def _execute_select(node: SelectNode, facts, memo=None) -> Table:
+    table = execute_plan(node.child, facts, memo=memo)
 
     def satisfied(row: Mapping[str, object]) -> bool:
         for comparison in node.comparisons:
@@ -340,8 +504,8 @@ def _execute_select(node: SelectNode, facts) -> Table:
     return table.select(satisfied)
 
 
-def _execute_project(node: ProjectNode, facts) -> Table:
-    table = execute_plan(node.child, facts)
+def _execute_project(node: ProjectNode, facts, memo=None) -> Table:
+    table = execute_plan(node.child, facts, memo=memo)
     out_rows = []
     for row in table:
         named = dict(zip(table.columns, row))
@@ -352,24 +516,48 @@ def _execute_project(node: ProjectNode, facts) -> Table:
     return Table(node.output_columns(), out_rows)
 
 
-def execute_plan(node: PlanNode, facts: FactsLike) -> Table:
-    """Execute a logical plan over ``facts`` and return the result table."""
+def execute_plan(
+    node: PlanNode, facts: FactsLike, memo: Optional[Dict[str, Table]] = None
+) -> Table:
+    """Execute a logical plan over ``facts`` and return the result table.
+
+    ``memo`` (optional) is the shared-result dictionary consulted by
+    :class:`MaterializeNode`; pass one dictionary across several
+    ``execute_plan`` calls *over the same, unmutated fact source* to reuse
+    materialised subplans between them.  Memo keys encode plan structure
+    only, so a memo reused across different (or mutated) data would serve
+    stale tables — make one per data source.
+    """
     source = as_fact_source(facts)
     if isinstance(node, ScanNode):
         return _execute_scan(node, source)
     if isinstance(node, JoinNode):
-        return execute_plan(node.left, source).natural_join(
-            execute_plan(node.right, source))
+        return execute_plan(node.left, source, memo=memo).natural_join(
+            execute_plan(node.right, source, memo=memo))
     if isinstance(node, SelectNode):
-        return _execute_select(node, source)
+        return _execute_select(node, source, memo=memo)
     if isinstance(node, ProjectNode):
-        return _execute_project(node, source)
+        return _execute_project(node, source, memo=memo)
     if isinstance(node, UnionNode):
-        tables = [execute_plan(branch, source) for branch in node.branches]
-        rows: Set[Row] = set()
-        for table in tables:
-            rows |= table.to_set()
-        return Table(node.output_columns(), rows)
+        # Disjuncts may name their head variables differently; align each
+        # branch to the union's columns positionally before the union.
+        out_columns = node.output_columns()
+        tables = []
+        for branch in node.branches:
+            table = execute_plan(branch, source, memo=memo)
+            if table.columns != out_columns:
+                table = table.rename(dict(zip(table.columns, out_columns)))
+            tables.append(table)
+        return union_many(tables, columns=out_columns)
+    if isinstance(node, DistinctNode):
+        return execute_plan(node.child, source, memo=memo).distinct()
+    if isinstance(node, MaterializeNode):
+        if memo is None:
+            return execute_plan(node.child, source)
+        table = memo.get(node.key)
+        if table is None:
+            table = memo[node.key] = execute_plan(node.child, source, memo=memo)
+        return table
     if isinstance(node, EmptyNode):
         return Table(node.output_columns(), [])
     raise EvaluationError(f"unknown plan node {type(node).__name__}")
@@ -382,6 +570,10 @@ def evaluate_query_via_plan(query: ConjunctiveQuery, facts: FactsLike) -> Set[Ro
 
 
 def evaluate_union_via_plan(union: UnionQuery, facts: FactsLike) -> Set[Row]:
-    """Compile and execute a union of conjunctive queries."""
-    plan = compile_union(union, facts)
-    return execute_plan(plan, facts).to_set()
+    """Compile and execute a union of conjunctive queries.
+
+    Structurally identical disjunct subplans are materialised once via a
+    shared memo (see :func:`compile_union`).
+    """
+    plan = compile_union(union, facts, share_common=True)
+    return execute_plan(plan, facts, memo={}).to_set()

@@ -9,11 +9,28 @@ relations, and the certain-answer semantics of Section 2.2.
 
 from .analysis import ComplexityClass, ComplexityReport, analyze_pdms, build_inclusion_graph
 from .execution import (
+    PeerFactSource,
+    PerRewritingEngine,
+    SharedPlanEngine,
     answer_query,
     answer_query_batch,
     combine_peer_instances,
+    default_engine,
     evaluate_reformulation,
+    federate_if_per_peer,
+    get_engine,
+    register_engine,
+    registered_engines,
     stream_answers,
+    validate_engine,
+)
+from .planning import (
+    PlanStatistics,
+    UnionPlan,
+    compile_reformulation,
+    ensure_plan,
+    evaluate_plan,
+    stream_plan_answers,
 )
 from .mappings import (
     DefinitionalMapping,
@@ -60,6 +77,9 @@ __all__ = [
     "NormalizedRule",
     "PDMS",
     "Peer",
+    "PeerFactSource",
+    "PerRewritingEngine",
+    "PlanStatistics",
     "QueryService",
     "ReformulationConfig",
     "ReformulationProvenance",
@@ -67,9 +87,11 @@ __all__ = [
     "RuleGoalTree",
     "RuleNode",
     "ServiceStats",
+    "SharedPlanEngine",
     "StorageDescription",
     "StoredRelation",
     "TreeStatistics",
+    "UnionPlan",
     "analyze_pdms",
     "answer_query",
     "answer_query_batch",
@@ -78,12 +100,22 @@ __all__ = [
     "canonicalize_query",
     "certain_answers",
     "combine_peer_instances",
+    "compile_reformulation",
     "compute_productive_predicates",
+    "default_engine",
+    "ensure_plan",
+    "evaluate_plan",
     "evaluate_reformulation",
+    "federate_if_per_peer",
+    "get_engine",
     "is_consistent",
     "lav_style",
     "qualified_name",
     "reformulate",
+    "register_engine",
+    "registered_engines",
     "replication",
     "stream_answers",
+    "stream_plan_answers",
+    "validate_engine",
 ]

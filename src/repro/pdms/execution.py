@@ -1,23 +1,33 @@
 """Execution of reformulated queries over the peers' stored relations.
 
-The paper leaves execution to an external (adaptive) query processor; for
-the reproduction we simply evaluate the union of conjunctive rewritings
-over an in-memory :class:`repro.database.instance.Instance` (or any fact
-source) holding the stored relations of all peers, using set semantics.
-A convenience helper assembles that combined instance from per-peer
-instances.
+The paper leaves execution to an external (adaptive) query processor; this
+module provides three interchangeable engines behind a small registry:
+
+* ``"backtracking"`` — each rewriting through the direct indexed-join
+  conjunctive-query evaluator;
+* ``"plan"`` — each rewriting compiled to a relational-algebra plan first
+  (the route a classical database system would take);
+* ``"shared"`` — the whole union of rewritings compiled into one shared
+  union-plan DAG (:mod:`repro.pdms.planning`) with hash-consed common
+  sub-conjunctions evaluated once and an optional thread pool.
 
 Execution is *streaming*: rewritings are pulled from the reformulation
-generator one at a time and evaluated as they arrive, so the first
-answers surface before Step 3 finishes enumerating (the paper's Figure 4
-measures exactly this time-to-first-answer shape).  ``limit`` cuts the
-enumeration short once enough distinct answers are known, and
-:func:`answer_query_batch` shares one combined instance across a query
-mix.
+generator one at a time and evaluated as they arrive, so the first answers
+surface before Step 3 finishes enumerating (the paper's Figure 4 measures
+exactly this time-to-first-answer shape).  ``limit`` cuts the enumeration
+short once enough distinct answers are known.
+
+Per-peer data is served **federated**: a :class:`PeerFactSource` routes
+index probes to the owning peer's live
+:class:`~repro.database.instance.Instance` instead of eagerly copying
+every row into a combined instance (:func:`combine_peer_instances` remains
+available for callers that genuinely want a merged copy).
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import (
     Dict,
     Iterable,
@@ -25,52 +35,195 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Protocol,
     Sequence,
     Set,
     Tuple,
     Union,
 )
 
-from ..database.instance import Instance
+from ..database.instance import Instance, relation_creation_clock
 from ..database.planner import evaluate_query_via_plan
 from ..datalog.evaluation import FactsLike, evaluate_query
+from ..datalog.indexing import Pattern
 from ..datalog.queries import ConjunctiveQuery
 from ..errors import EvaluationError, MappingError
 from .optimizations import ReformulationConfig
-from .reformulation import ReformulationResult, reformulate
+from .planning import (
+    UnionPlan,
+    ensure_plan,
+    shared_workers_from_env,
+    stream_plan_answers,
+)
+from .reformulation import (
+    ReformulationResult,
+    canonicalize_query,
+    reformulate,
+)
 from .system import PDMS
 
 Row = Tuple[object, ...]
 
-#: Available execution engines for reformulated queries.
-ENGINES = ("backtracking", "plan")
+
+# ---------------------------------------------------------------------------
+# Engine registry
+# ---------------------------------------------------------------------------
+
+class ExecutionEngine(Protocol):
+    """An execution strategy for a reformulated union of rewritings.
+
+    ``stream`` yields *distinct* answer rows incrementally; consuming only
+    a prefix must not force the full rewriting enumeration.  Engines that
+    consume compiled union plans set ``uses_plans`` so callers holding a
+    plan cache (the service layer) can pass one in.
+    """
+
+    name: str
+
+    def stream(
+        self,
+        result: ReformulationResult,
+        data: FactsLike,
+        plan: Optional[UnionPlan] = None,
+    ) -> Iterator[Row]:  # pragma: no cover - protocol
+        ...
+
+
+class PerRewritingEngine:
+    """Wraps a per-rewriting evaluator into the engine interface."""
+
+    uses_plans = False
+
+    def __init__(self, name: str, evaluate):
+        self.name = name
+        self._evaluate = evaluate
+
+    def stream(
+        self,
+        result: ReformulationResult,
+        data: FactsLike,
+        plan: Optional[UnionPlan] = None,
+    ) -> Iterator[Row]:
+        seen: Set[Row] = set()
+        for rewriting in result.rewritings():
+            for row in self._evaluate(rewriting, data):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerRewritingEngine({self.name!r})"
+
+
+class SharedPlanEngine:
+    """Evaluates the whole union through one shared union-plan DAG.
+
+    Common sub-conjunctions across rewritings are computed once per call;
+    ``max_workers`` (or ``REPRO_SHARED_WORKERS``) evaluates independent
+    rewriting roots on a thread pool.
+    """
+
+    uses_plans = True
+
+    def __init__(self, name: str = "shared", max_workers: Optional[int] = None):
+        self.name = name
+        self._max_workers = max_workers
+
+    def stream(
+        self,
+        result: ReformulationResult,
+        data: FactsLike,
+        plan: Optional[UnionPlan] = None,
+    ) -> Iterator[Row]:
+        workers = (
+            self._max_workers
+            if self._max_workers is not None
+            else shared_workers_from_env()
+        )
+        if plan is None:
+            plan = ensure_plan(result, data)
+        elif plan.result is not result:
+            raise EvaluationError(
+                "the supplied union plan was compiled for a different "
+                "reformulation result"
+            )
+        return stream_plan_answers(plan, data, max_workers=workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedPlanEngine({self.name!r})"
+
+
+_ENGINE_REGISTRY: Dict[str, ExecutionEngine] = {}
+
+#: Names of the registered execution engines, in registration order.
+#: Rebound by :func:`register_engine`; import the module (not the tuple)
+#: if you need to observe late registrations.
+ENGINES: Tuple[str, ...] = ()
+
+
+def register_engine(engine: ExecutionEngine, replace: bool = False) -> ExecutionEngine:
+    """Register an execution engine under ``engine.name``.
+
+    Registering a taken name raises unless ``replace`` is set (deployments
+    may swap in an instrumented or differently tuned engine).
+    """
+    global ENGINES
+    name = engine.name
+    if not name or not isinstance(name, str):
+        raise EvaluationError(f"engine name must be a non-empty string, got {name!r}")
+    if name in _ENGINE_REGISTRY and not replace:
+        raise EvaluationError(
+            f"execution engine {name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    _ENGINE_REGISTRY[name] = engine
+    ENGINES = tuple(_ENGINE_REGISTRY)
+    return engine
+
+
+def registered_engines() -> Tuple[str, ...]:
+    """Names of all registered execution engines, in registration order."""
+    return tuple(_ENGINE_REGISTRY)
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if it names a registered execution engine, else raise."""
+    if engine not in _ENGINE_REGISTRY:
+        raise EvaluationError(
+            f"unknown execution engine {engine!r}; "
+            f"registered engines: {', '.join(registered_engines())}"
+        )
+    return engine
+
+
+def get_engine(engine: str) -> ExecutionEngine:
+    """The registered engine object for ``engine`` (validates the name)."""
+    return _ENGINE_REGISTRY[validate_engine(engine)]
 
 
 def default_engine() -> str:
     """The engine used when callers don't pass one explicitly.
 
     Read from ``REPRO_DEFAULT_ENGINE`` so the whole test suite (and any
-    deployment) can be pointed at either engine without code changes —
-    the CI matrix runs tier-1 under both.
+    deployment) can be pointed at any registered engine without code
+    changes — the CI matrix runs tier-1 under all of them.  A
+    misconfigured value fails fast, at the first call, with the same
+    dynamically enumerated message :func:`validate_engine` produces.
     """
-    import os
-
     engine = os.environ.get("REPRO_DEFAULT_ENGINE", "backtracking")
-    if engine not in ENGINES:
-        raise EvaluationError(
-            f"REPRO_DEFAULT_ENGINE={engine!r} is not one of {ENGINES}"
-        )
-    return engine
+    try:
+        return validate_engine(engine)
+    except EvaluationError as exc:
+        raise EvaluationError(f"REPRO_DEFAULT_ENGINE is misconfigured: {exc}") from None
 
 
-def combine_peer_instances(instances: Mapping[str, Instance]) -> Instance:
-    """Merge per-peer instances of stored relations into one instance.
+# ---------------------------------------------------------------------------
+# Stored-relation data: federated per-peer sources and combined instances
+# ---------------------------------------------------------------------------
 
-    Stored-relation names are globally unique in a well-formed PDMS, so
-    merging is a plain union; a clash with different arities raises a
-    :class:`MappingError` naming both peers involved.
-    """
-    combined = Instance()
+def _check_arity_clashes(instances: Mapping[str, Instance]) -> Dict[str, List[Instance]]:
+    """Route stored relations to owners, raising on cross-peer arity clashes."""
+    routes: Dict[str, List[Instance]] = {}
     first_seen: Dict[str, Tuple[str, int]] = {}
     for peer_name, instance in instances.items():
         for relation in instance.relations():
@@ -85,21 +238,142 @@ def combine_peer_instances(instances: Mapping[str, Instance]) -> Instance:
                     f"stored relation {relation!r} has arity {earlier[1]} at peer "
                     f"{earlier[0]!r} but arity {arity} at peer {peer_name!r}"
                 )
-            for row in instance.get_tuples(relation):
+            routes.setdefault(relation, []).append(instance)
+    return routes
+
+
+class PeerFactSource:
+    """A federated, no-copy fact source over per-peer instances.
+
+    Implements the :class:`~repro.datalog.indexing.IndexedFactSource`
+    protocol by routing each probe to the *owning* peer's live
+    :class:`~repro.database.instance.Instance` — including its maintained
+    hash indexes — instead of eagerly merging every row into a combined
+    copy the way :func:`combine_peer_instances` does.  Stored-relation
+    names are globally unique in a well-formed PDMS; the constructor keeps
+    the combined path's eager arity-clash check (a clash raises
+    :class:`~repro.errors.MappingError` naming both peers).  In the rare
+    case several peers expose the same relation compatibly, probes fan out
+    to all owners (set semantics downstream absorbs duplicates).
+
+    Liveness: rows added to an owned instance are visible immediately, and
+    the relation-routing table refreshes itself whenever a new relation is
+    created on any live instance — detected by comparing one cached
+    reading of the process-wide
+    :data:`~repro.database.instance.relation_creation_clock` (a single
+    attribute access per probe, so the join engine's inner loop pays O(1)
+    for change detection).  The view therefore never goes stale in either
+    direction, and the arity-clash check re-runs on every refresh exactly
+    as it would on a fresh construction.
+    """
+
+    __slots__ = (
+        "_instances",
+        "_routes",
+        "_clock_stamp",
+        "_version_stamp",
+        "_lock",
+        "__weakref__",
+    )
+
+    def __init__(self, instances: Mapping[str, Instance]):
+        self._instances: Dict[str, Instance] = dict(instances)
+        self._lock = threading.Lock()
+        self._routes: Dict[str, Tuple[Instance, ...]] = {}
+        self._clock_stamp = -1
+        self._version_stamp = -1
+        self._refresh()
+
+    def _owned_versions(self) -> int:
+        # Per-instance relations_version counters only grow, so the sum
+        # changes iff one of *our* instances created a relation.
+        return sum(
+            instance.relations_version for instance in self._instances.values()
+        )
+
+    def _refresh(self) -> None:
+        with self._lock:
+            # Capture the clock *before* inspecting: a relation created
+            # after the capture ticks the clock past it, so the next probe
+            # refreshes again; one created before the capture is already
+            # visible (version bumps and relation creation precede ticks).
+            clock = relation_creation_clock.read()
+            if clock == self._clock_stamp:
+                return
+            # The global clock also moves for unrelated instances; only
+            # re-derive the routes when one of the owned instances did.
+            versions = self._owned_versions()
+            if versions != self._version_stamp:
+                self._routes = {
+                    relation: tuple(owners)
+                    for relation, owners in _check_arity_clashes(
+                        self._instances
+                    ).items()
+                }
+                self._version_stamp = versions
+            self._clock_stamp = clock
+
+    def _route(self, relation: str) -> Tuple[Instance, ...]:
+        if relation_creation_clock.read() != self._clock_stamp:
+            self._refresh()
+        return self._routes.get(relation, ())
+
+    def relations(self) -> Tuple[str, ...]:
+        """Stored relations currently reachable through this source."""
+        if relation_creation_clock.read() != self._clock_stamp:
+            self._refresh()
+        return tuple(self._routes)
+
+    def owner_count(self, relation: str) -> int:
+        """How many peer instances serve ``relation`` (0 if unknown)."""
+        return len(self._route(relation))
+
+    def get_tuples(self, predicate: str) -> Iterable[Row]:
+        owners = self._route(predicate)
+        if not owners:
+            return ()
+        if len(owners) == 1:
+            return owners[0].get_tuples(predicate)
+        rows: List[Row] = []
+        for owner in owners:
+            rows.extend(owner.get_tuples(predicate))
+        return rows
+
+    def get_matching(self, predicate: str, pattern: Pattern) -> Iterable[Row]:
+        owners = self._route(predicate)
+        if not owners:
+            return ()
+        if len(owners) == 1:
+            return owners[0].get_matching(predicate, pattern)
+        rows = []
+        for owner in owners:
+            rows.extend(owner.get_matching(predicate, pattern))
+        return rows
+
+    def cardinality(self, relation: str) -> int:
+        """Total row count across owners (feeds the planner's cost model)."""
+        return sum(owner.cardinality(relation) for owner in self._route(relation))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerFactSource({len(self._routes)} relations)"
+
+
+def combine_peer_instances(instances: Mapping[str, Instance]) -> Instance:
+    """Merge per-peer instances of stored relations into one instance.
+
+    Stored-relation names are globally unique in a well-formed PDMS, so
+    merging is a plain union; a clash with different arities raises a
+    :class:`MappingError` naming both peers involved.  Query answering no
+    longer needs this copy — :class:`PeerFactSource` federates probes to
+    the live per-peer instances — but it remains the right tool when a
+    materialised merged instance is wanted (e.g. the chase oracle).
+    """
+    combined = Instance()
+    for relation, owners in _check_arity_clashes(instances).items():
+        for owner in owners:
+            for row in owner.get_tuples(relation):
                 combined.add(relation, row)
     return combined
-
-
-def validate_engine(engine: str) -> str:
-    """Return ``engine`` if it names a known execution engine, else raise."""
-    if engine not in ENGINES:
-        raise EvaluationError(f"unknown execution engine {engine!r}; choose from {ENGINES}")
-    return engine
-
-
-def _resolve_engine(engine: str):
-    validate_engine(engine)
-    return evaluate_query if engine == "backtracking" else evaluate_query_via_plan
 
 
 def is_per_peer_data(data: Union[FactsLike, Mapping[str, Instance]]) -> bool:
@@ -115,17 +389,37 @@ def is_per_peer_data(data: Union[FactsLike, Mapping[str, Instance]]) -> bool:
     )
 
 
+def federate_if_per_peer(
+    data: Union[FactsLike, Mapping[str, Instance]]
+) -> FactsLike:
+    """Wrap per-peer instances in a no-copy federated source; pass others through."""
+    if is_per_peer_data(data):
+        return PeerFactSource(data)  # type: ignore[arg-type]
+    return data  # type: ignore[return-value]
+
+
 def combine_if_per_peer(
     data: Union[FactsLike, Mapping[str, Instance]]
 ) -> FactsLike:
-    """Collapse per-peer instances into one fact source; pass anything else through."""
+    """Collapse per-peer instances into one *copied* instance.
+
+    Kept for callers that want a materialised merge; the query-answering
+    entry points use :func:`federate_if_per_peer` instead.
+    """
     if is_per_peer_data(data):
         return combine_peer_instances(data)  # type: ignore[arg-type]
     return data  # type: ignore[return-value]
 
 
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
 def stream_answers(
-    result: ReformulationResult, data: FactsLike, engine: Optional[str] = None
+    result: ReformulationResult,
+    data: Union[FactsLike, Mapping[str, Instance]],
+    engine: Optional[str] = None,
+    plan: Optional[UnionPlan] = None,
 ) -> Iterator[Row]:
     """Yield distinct answer rows as the rewriting enumeration progresses.
 
@@ -134,27 +428,20 @@ def stream_answers(
     prefix of this iterator therefore never forces the full rewriting
     enumeration — the first-k path of the service layer rides on this.
 
-    A bad ``engine`` name raises here, at call time, not on first
-    iteration.
+    ``plan`` (optional) hands a cached compiled union plan to engines that
+    consume one; other engines ignore it.  A bad ``engine`` name raises
+    here, at call time, not on first iteration.
     """
-    evaluate = _resolve_engine(engine if engine is not None else default_engine())
-
-    def generate() -> Iterator[Row]:
-        seen: Set[Row] = set()
-        for rewriting in result.rewritings():
-            for row in evaluate(rewriting, data):
-                if row not in seen:
-                    seen.add(row)
-                    yield row
-
-    return generate()
+    impl = get_engine(engine if engine is not None else default_engine())
+    return impl.stream(result, federate_if_per_peer(data), plan=plan)
 
 
 def evaluate_reformulation(
     result: ReformulationResult,
-    data: FactsLike,
+    data: Union[FactsLike, Mapping[str, Instance]],
     engine: Optional[str] = None,
     limit: Optional[int] = None,
+    plan: Optional[UnionPlan] = None,
 ) -> Set[Row]:
     """Evaluate the rewritings of ``result`` over ``data`` (set semantics).
 
@@ -163,10 +450,9 @@ def evaluate_reformulation(
     completes.  With ``limit``, evaluation stops as soon as ``limit``
     distinct answers are known and returns that subset.
 
-    ``engine`` selects the evaluation path: ``"backtracking"`` uses the
-    direct conjunctive-query evaluator, ``"plan"`` compiles each rewriting
-    to a relational-algebra plan first (the route a database system would
-    take); both return the same answers.
+    ``engine`` selects the evaluation path (see :func:`registered_engines`;
+    ``"backtracking"``, ``"plan"``, and ``"shared"`` ship by default); all
+    engines return the same answers.
     """
     engine = validate_engine(engine if engine is not None else default_engine())
     if limit is not None and limit < 0:
@@ -174,7 +460,7 @@ def evaluate_reformulation(
     answers: Set[Row] = set()
     if limit == 0:
         return answers
-    for row in stream_answers(result, data, engine=engine):
+    for row in stream_answers(result, data, engine=engine, plan=plan):
         answers.add(row)
         if limit is not None and len(answers) >= limit:
             break
@@ -193,10 +479,11 @@ def answer_query(
 
     ``data`` is either a single fact source over stored relations, or a
     mapping from peer name to that peer's :class:`Instance` (in which case
-    the instances are combined first).  ``engine`` and ``limit`` are
-    passed through to :func:`evaluate_reformulation`.
+    probes are federated to the live per-peer instances — no copy).
+    ``engine`` and ``limit`` are passed through to
+    :func:`evaluate_reformulation`.
     """
-    data = combine_if_per_peer(data)
+    data = federate_if_per_peer(data)
     result = reformulate(pdms, query, config=config)
     return evaluate_reformulation(result, data, engine=engine, limit=limit)
 
@@ -209,16 +496,36 @@ def answer_query_batch(
     engine: Optional[str] = None,
     limit: Optional[int] = None,
 ) -> List[Set[Row]]:
-    """Answer a mix of queries over one shared combined instance.
+    """Answer a mix of queries over one shared federated source.
 
-    Per-peer data is merged exactly once for the whole batch (the
-    per-query path re-merges on every call).  Returns the answer sets in
-    query order.  For reformulation reuse across the batch, use
-    :class:`repro.pdms.service.QueryService`, which layers a cache over
-    this path.
+    Per-peer data is wrapped exactly once for the whole batch, and the
+    batch shares one cache of canonical query signatures: structurally
+    isomorphic queries in the mix (identical up to variable renaming, body
+    order, and head name) are reformulated once and re-evaluated from the
+    memoized rewritings.  Returns the answer sets in query order.  For a
+    cache that persists *across* batches, use
+    :class:`repro.pdms.service.QueryService`, which layers provenance
+    invalidation on top.
     """
-    data = combine_if_per_peer(data)
-    return [
-        answer_query(pdms, query, data, config=config, engine=engine, limit=limit)
-        for query in queries
-    ]
+    source = federate_if_per_peer(data)
+    results: Dict[str, ReformulationResult] = {}
+    answers: List[Set[Row]] = []
+    for query in queries:
+        canonical = canonicalize_query(query)
+        result = results.get(canonical.signature)
+        if result is None:
+            result = reformulate(pdms, canonical.query, config=config)
+            results[canonical.signature] = result
+        answers.append(
+            evaluate_reformulation(result, source, engine=engine, limit=limit)
+        )
+    return answers
+
+
+# ---------------------------------------------------------------------------
+# Default engines
+# ---------------------------------------------------------------------------
+
+register_engine(PerRewritingEngine("backtracking", evaluate_query))
+register_engine(PerRewritingEngine("plan", evaluate_query_via_plan))
+register_engine(SharedPlanEngine("shared"))

@@ -1,0 +1,596 @@
+"""Shared union-plan IR: compile a reformulation into a common-subplan DAG.
+
+The reformulation algorithm (Section 4 of the paper) emits a union of
+conjunctive rewritings assembled from *one* rule-goal tree, so rewritings
+overwhelmingly share sub-conjunctions: sibling rewritings differ in the
+storage description chosen for one goal while agreeing on every other
+stored atom.  Evaluating each rewriting from scratch therefore recomputes
+the same joins over and over.  This module compiles a
+:class:`~repro.pdms.reformulation.ReformulationResult` into a **union
+plan**: a DAG of hash-consed, canonically named sub-conjunction fragments
+shared across rewritings, with per-rewriting selection/projection roots on
+top.
+
+Sharing model
+-------------
+Each rewriting's relational atoms are cost-ordered (greedy
+smallest-estimate-first over connected atoms, using per-relation
+cardinalities from a :class:`~repro.database.planner.CardinalityCostModel`)
+and folded into a left-deep chain of :class:`ConjunctionFragment` nodes.
+Every fragment is keyed by the *canonical rendering* of its ordered atom
+prefix — variables positionally renamed, constants and repeated-variable
+equalities spelled out — so alpha-equivalent sub-conjunctions from
+different rewritings hash to the same node.  Because the cost ordering is
+deterministic for a given atom multiset, rewritings that share subgoals
+share long plan prefixes, and each shared fragment's result table is
+computed **once per execution** and reused by every rewriting containing
+it.
+
+Execution
+---------
+:func:`stream_plan_answers` evaluates fragments against any fact source
+(upgraded to an :class:`~repro.datalog.indexing.IndexedFactSource` so leaf
+scans probe hash indexes) with a compute-once memo; rewriting roots can be
+evaluated on an optional thread pool (``max_workers``) while the answer
+iterator keeps the first-k streaming contract: consuming a prefix never
+forces the remaining fragments.  Compilation itself is incremental — the
+plan ingests rewritings lazily from the (memoized, thread-safe) rewriting
+stream, so a ``limit=k`` call compiles only the prefix it evaluates.
+
+See ``docs/execution.md`` for the architecture notes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..database.algebra import Table
+from ..database.planner import CardinalityCostModel
+from ..datalog.atoms import Atom, compare_values
+from ..datalog.evaluation import FactsLike, as_fact_source
+from ..datalog.indexing import WILDCARD, ensure_indexed
+from ..datalog.queries import ConjunctiveQuery
+from ..datalog.terms import Variable, is_variable
+from ..errors import EvaluationError
+from .reformulation import ReformulationResult, _LazySeq
+
+Row = Tuple[object, ...]
+
+#: A compiled comparison/head operand: ("col", canonical column name) or
+#: ("const", plain value).
+Operand = Tuple[str, object]
+
+
+# ---------------------------------------------------------------------------
+# Plan fragments (the DAG nodes)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScanFragment:
+    """A leaf: one stored-relation scan in its single-atom canonical form.
+
+    ``pattern`` holds one entry per relation position — a constant the row
+    must carry there, or :data:`~repro.datalog.indexing.WILDCARD` — and is
+    probed through ``get_matching`` so constants use hash indexes.
+    ``equal_positions`` are repeated-variable equalities;
+    ``keep_positions`` are the positions projected into ``columns`` (the
+    first occurrence of each variable).
+    """
+
+    key: str
+    relation: str
+    pattern: Tuple[object, ...]
+    equal_positions: Tuple[Tuple[int, int], ...]
+    keep_positions: Tuple[int, ...]
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinFragment:
+    """An interior node: the left prefix joined with one more scan.
+
+    ``left_key``/``right_key`` name child fragments in the plan's node
+    table.  The left child shares this node's canonical namespace (prefix
+    renaming is stable under extension), so only the right child's columns
+    are renamed (``right_rename``: right column -> this namespace) before
+    the natural join; the result is projected to ``columns``.
+    """
+
+    key: str
+    left_key: str
+    right_key: str
+    right_rename: Tuple[Tuple[str, str], ...]
+    columns: Tuple[str, ...]
+
+
+PlanFragment = Union[ScanFragment, JoinFragment]
+
+
+@dataclass(frozen=True)
+class RewritingPlan:
+    """The per-rewriting root: comparisons + head projection over a fragment."""
+
+    rewriting: ConjunctiveQuery
+    root_key: str
+    comparisons: Tuple[Tuple[Operand, str, Operand], ...]
+    head: Tuple[Operand, ...]
+
+
+@dataclass
+class PlanStatistics:
+    """How much structure the plan shares across its compiled rewritings."""
+
+    rewritings: int = 0
+    unique_fragments: int = 0
+    fragment_references: int = 0
+
+    @property
+    def reused_references(self) -> int:
+        """Fragment references served by an already-built node."""
+        return self.fragment_references - self.unique_fragments
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of fragment references that reuse a shared node."""
+        if not self.fragment_references:
+            return 0.0
+        return self.reused_references / self.fragment_references
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def _atom_sort_key(atom: Atom, cost: Optional[CardinalityCostModel]):
+    pattern = tuple(
+        ("c", repr(arg.value)) if not is_variable(arg) else ("v",)
+        for arg in atom.args
+    )
+    estimate = cost.atom_estimate(atom) if cost is not None else 0
+    return (estimate, atom.predicate, atom.arity, pattern)
+
+
+def _render_atom(
+    atom: Atom, namespace: Dict[Variable, str]
+) -> Tuple[str, Dict[Variable, str]]:
+    """Canonical rendering of ``atom`` in (a copy of) ``namespace``.
+
+    Unseen variables are assigned the next positional names; the possibly
+    extended namespace is returned alongside the rendering so callers can
+    either commit it (when the atom is chosen) or discard it (when merely
+    scoring a candidate).
+    """
+    local = dict(namespace)
+    parts: List[str] = []
+    for arg in atom.args:
+        if is_variable(arg):
+            name = local.get(arg)
+            if name is None:
+                name = local[arg] = f"_f{len(local)}"
+            parts.append(name)
+        else:
+            parts.append(repr(arg.value))
+    return f"{atom.predicate}({','.join(parts)})", local
+
+
+class UnionPlan:
+    """A shared execution plan for the union of rewritings of one result.
+
+    Rewritings are compiled incrementally from ``result.rewritings()`` the
+    first time :meth:`fragments` reaches them, each into a left-deep chain
+    over the hash-consed node table ``nodes``; already-compiled prefixes
+    are reused across rewritings and across calls.  Thread-safe: several
+    executions may iterate :meth:`fragments` concurrently.
+    """
+
+    def __init__(
+        self,
+        result: ReformulationResult,
+        cost: Optional[CardinalityCostModel] = None,
+    ):
+        self.result = result
+        self.nodes: Dict[str, PlanFragment] = {}
+        self.stats = PlanStatistics()
+        self._cost = cost
+        # _LazySeq serialises advancement under its lock, so node-table
+        # mutation inside _compile_rewriting is single-threaded even when
+        # several executions iterate fragments() concurrently.
+        self._compiled = _LazySeq(
+            self._compile_rewriting(rewriting)
+            for rewriting in result.rewritings()
+        )
+
+    # -- compilation (incremental) ---------------------------------------------
+
+    def fragments(self) -> Iterator[RewritingPlan]:
+        """Yield one :class:`RewritingPlan` per rewriting, compiling lazily.
+
+        Backed by the same thread-safe memoized-stream machinery as the
+        rewriting enumeration itself; each rewriting is compiled exactly
+        once, on first reach.
+        """
+        return iter(self._compiled)
+
+    def _scan_fragment(self, atom: Atom) -> ScanFragment:
+        """The hash-consed leaf for one atom (single-atom canonical form)."""
+        first_position: Dict[Variable, int] = {}
+        pattern: List[object] = []
+        equal_positions: List[Tuple[int, int]] = []
+        keep_positions: List[int] = []
+        for position, arg in enumerate(atom.args):
+            if is_variable(arg):
+                earlier = first_position.get(arg)
+                if earlier is None:
+                    first_position[arg] = position
+                    keep_positions.append(position)
+                else:
+                    equal_positions.append((earlier, position))
+                pattern.append(WILDCARD)
+            else:
+                pattern.append(arg.value)
+        # The key comes from the one canonical renderer, so the
+        # reuse-aware ordering's key previews always match committed keys.
+        key, _ = _render_atom(atom, {})
+        node = self.nodes.get(key)
+        if node is None:
+            node = ScanFragment(
+                key=key,
+                relation=atom.predicate,
+                pattern=tuple(pattern),
+                equal_positions=tuple(equal_positions),
+                keep_positions=tuple(keep_positions),
+                columns=tuple(f"_f{i}" for i in range(len(keep_positions))),
+            )
+            self.nodes[key] = node
+            self.stats.unique_fragments += 1
+        self.stats.fragment_references += 1
+        return node
+
+    def _compile_rewriting(self, rewriting: ConjunctiveQuery) -> RewritingPlan:
+        remaining = list(enumerate(rewriting.relational_body()))
+        if not remaining:
+            raise EvaluationError(
+                "cannot compile a rewriting with no relational atoms"
+            )
+        # Canonical names in the rewriting's prefix namespace, assigned at
+        # first occurrence along the chosen atom order.  Because first
+        # occurrences over a prefix do not change when the prefix grows,
+        # these names are stable across prefix extension — shared prefixes
+        # of different rewritings render (and hash) identically.
+        canonical: Dict[Variable, str] = {}
+        root_key: Optional[str] = None
+        prefix_columns: Tuple[str, ...] = ()
+
+        while remaining:
+            # Reuse-aware cost ordering: among connected candidates, prefer
+            # the extension whose prefix fragment already exists in the
+            # node table (its sub-result will come from the memo), then the
+            # smallest estimated scan.  The first rewriting thus compiles
+            # in pure cost order and later rewritings follow the prefixes
+            # it (and the cost ties) established — this is what turns
+            # shared subgoals into shared plan fragments.
+            def score(pair):
+                index, atom = pair
+                rendered, _ = _render_atom(atom, canonical)
+                key = rendered if root_key is None else f"{root_key} & {rendered}"
+                exists = 0 if key in self.nodes else 1
+                return (exists,) + _atom_sort_key(atom, self._cost) + (index,)
+
+            if root_key is not None:
+                bound = set(canonical)
+                connected = [p for p in remaining if p[1].variable_set() & bound]
+                pool = connected or remaining
+            else:
+                pool = remaining
+            chosen = min(pool, key=score)
+            remaining.remove(chosen)
+            atom = chosen[1]
+
+            leaf = self._scan_fragment(atom)
+            rendered, extended = _render_atom(atom, canonical)
+            if root_key is None:
+                # For the first atom the prefix namespace coincides with
+                # the leaf's single-atom namespace.
+                canonical = extended
+                root_key = leaf.key
+                prefix_columns = leaf.columns
+                continue
+            targets = tuple(
+                extended[atom.args[position]] for position in leaf.keep_positions
+            )
+            canonical = extended
+            key = f"{root_key} & {rendered}"
+            node = self.nodes.get(key)
+            if node is None:
+                columns = prefix_columns + tuple(
+                    t for t in targets if t not in prefix_columns
+                )
+                node = JoinFragment(
+                    key=key,
+                    left_key=root_key,
+                    right_key=leaf.key,
+                    right_rename=tuple(zip(leaf.columns, targets)),
+                    columns=columns,
+                )
+                self.nodes[key] = node
+                self.stats.unique_fragments += 1
+            self.stats.fragment_references += 1
+            root_key = key
+            prefix_columns = node.columns
+
+        def operand(term) -> Operand:
+            if is_variable(term):
+                return ("col", canonical[term])
+            return ("const", term.value)
+
+        comparisons = tuple(
+            (operand(comp.left), comp.op, operand(comp.right))
+            for comp in rewriting.comparison_body()
+        )
+        head = tuple(operand(term) for term in rewriting.head.args)
+        self.stats.rewritings += 1
+        return RewritingPlan(
+            rewriting=rewriting,
+            root_key=root_key,
+            comparisons=comparisons,
+            head=head,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"UnionPlan({s.rewritings} rewritings, {s.unique_fragments} fragments, "
+            f"{s.reused_references} reused refs)"
+        )
+
+
+def compile_reformulation(
+    result: ReformulationResult,
+    data: Optional[FactsLike] = None,
+    cost: Optional[CardinalityCostModel] = None,
+) -> UnionPlan:
+    """Compile ``result`` into a (lazily populated) shared union plan.
+
+    ``data`` (or a prebuilt ``cost`` model) steers the cost-based join
+    order; without either the canonical atom order is used.  The plan stays
+    correct if the data later changes — only join-order quality is tied to
+    the cardinalities seen at compile time.
+    """
+    if cost is None and data is not None:
+        cost = CardinalityCostModel(data)
+    return UnionPlan(result, cost)
+
+
+_ENSURE_LOCK = threading.Lock()
+
+
+def ensure_plan(
+    result: ReformulationResult, data: Optional[FactsLike] = None
+) -> UnionPlan:
+    """The compiled plan for ``result``, built once and cached on it.
+
+    The plan is attached to the result object itself, so its lifetime —
+    and therefore its invalidation — exactly tracks the result's: a
+    service cache that evicts the reformulation on a provenance signal
+    drops the compiled plan with it.
+    """
+    plan = result._shared_plan
+    if plan is None:
+        with _ENSURE_LOCK:
+            plan = result._shared_plan
+            if plan is None:
+                # Snapshot the cost model: the plan outlives this call, and
+                # it must not pin the data source (removed peers' instances,
+                # one-off overrides) in memory for the cache entry's
+                # lifetime.
+                cost = (
+                    CardinalityCostModel.snapshot(data) if data is not None else None
+                )
+                plan = UnionPlan(result, cost)
+                result._shared_plan = plan
+    return plan  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+class _OnceMap:
+    """A compute-once table memo safe under concurrent fragment evaluation.
+
+    The first caller of a key computes it; concurrent callers block on an
+    event and read the stored value (or re-raise the stored error).  Waits
+    only ever go *down* the fragment DAG, so there is no deadlock.
+    """
+
+    __slots__ = ("_lock", "_values", "_pending")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._values: Dict[str, Tuple[str, object]] = {}
+        self._pending: Dict[str, threading.Event] = {}
+
+    def get_or_compute(self, key: str, compute) -> Table:
+        while True:
+            with self._lock:
+                entry = self._values.get(key)
+                if entry is not None:
+                    kind, value = entry
+                    break
+                event = self._pending.get(key)
+                if event is None:
+                    self._pending[key] = threading.Event()
+                    event = None
+            if event is None:
+                entry = None
+                try:
+                    value = compute()
+                    entry = ("table", value)
+                except Exception as exc:
+                    entry = ("error", exc)
+                except BaseException:
+                    # Mirror _LazySeq: an interrupt must not be cached and
+                    # re-raised at sibling waiters as a stale Ctrl-C; they
+                    # get a fresh, diagnosable error instead while the
+                    # interrupt propagates to the interrupted thread.
+                    entry = ("error", EvaluationError(
+                        "fragment evaluation was interrupted before completing"
+                    ))
+                    raise
+                finally:
+                    with self._lock:
+                        self._values[key] = entry
+                        self._pending.pop(key).set()
+                kind, value = entry
+                break
+            event.wait()
+        if kind == "error":
+            raise value  # type: ignore[misc]
+        return value  # type: ignore[return-value]
+
+
+def _scan_table(node: ScanFragment, source) -> Table:
+    try:
+        candidates = source.get_matching(node.relation, node.pattern)
+    except ValueError as exc:
+        raise EvaluationError(f"relation {node.relation!r}: {exc}") from exc
+    rows: List[Row] = []
+    for row in candidates:
+        if any(row[i] != row[j] for i, j in node.equal_positions):
+            continue
+        rows.append(tuple(row[p] for p in node.keep_positions))
+    return Table(node.columns, rows)
+
+
+def _fragment_table(plan: UnionPlan, key: str, source, memo: _OnceMap) -> Table:
+    node = plan.nodes[key]
+
+    def compute() -> Table:
+        if isinstance(node, ScanFragment):
+            return _scan_table(node, source)
+        left = _fragment_table(plan, node.left_key, source, memo)
+        right = _fragment_table(plan, node.right_key, source, memo)
+        joined = left.natural_join(right.rename(dict(node.right_rename)))
+        return joined.project(node.columns)
+
+    return memo.get_or_compute(key, compute)
+
+
+def _evaluate_rewriting_plan(
+    plan: UnionPlan, rewriting_plan: RewritingPlan, source, memo: _OnceMap
+) -> Set[Row]:
+    table = _fragment_table(plan, rewriting_plan.root_key, source, memo)
+    index = {column: i for i, column in enumerate(table.columns)}
+
+    def value(row: Row, operand: Operand) -> object:
+        kind, payload = operand
+        return row[index[payload]] if kind == "col" else payload
+
+    answers: Set[Row] = set()
+    for row in table.rows:
+        if all(
+            compare_values(value(row, left), op, value(row, right))
+            for left, op, right in rewriting_plan.comparisons
+        ):
+            answers.add(tuple(value(row, operand) for operand in rewriting_plan.head))
+    return answers
+
+
+def shared_workers_from_env() -> int:
+    """Worker count for the shared engine from ``REPRO_SHARED_WORKERS``.
+
+    ``0`` (the default) means sequential in-thread execution; a
+    non-integer or negative value raises :class:`EvaluationError` at call
+    time (fail fast, like an unknown engine name).
+    """
+    raw = os.environ.get("REPRO_SHARED_WORKERS", "0")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise EvaluationError(
+            f"REPRO_SHARED_WORKERS={raw!r} is not an integer"
+        ) from None
+    if workers < 0:
+        raise EvaluationError(f"REPRO_SHARED_WORKERS={raw!r} must be >= 0")
+    return workers
+
+
+def stream_plan_answers(
+    plan: UnionPlan,
+    data: FactsLike,
+    max_workers: Optional[int] = None,
+) -> Iterator[Row]:
+    """Yield distinct answer rows of the union plan as fragments evaluate.
+
+    Sequentially (``max_workers`` 0/None/1), rewriting roots are evaluated
+    in enumeration order and shared fragments are served from the per-call
+    memo.  With ``max_workers`` > 1, up to that many rewriting roots are
+    evaluated concurrently on a thread pool (a bounded window keeps the
+    first-k contract: abandoning the iterator cancels unstarted work).
+    Answers are identical either way — only completion order differs, and
+    the dedup set makes the yielded row set equal.
+    """
+    source = ensure_indexed(as_fact_source(data))
+    memo = _OnceMap()
+    seen: Set[Row] = set()
+    if not max_workers or max_workers <= 1:
+        for rewriting_plan in plan.fragments():
+            for row in _evaluate_rewriting_plan(plan, rewriting_plan, source, memo):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+        return
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    executor = ThreadPoolExecutor(
+        max_workers=max_workers, thread_name_prefix="repro-shared"
+    )
+    try:
+        window: deque = deque()
+        fragment_iter = plan.fragments()
+        pending_limit = 2 * max_workers
+        exhausted = False
+        while True:
+            while not exhausted and len(window) < pending_limit:
+                try:
+                    rewriting_plan = next(fragment_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                window.append(
+                    executor.submit(
+                        _evaluate_rewriting_plan, plan, rewriting_plan, source, memo
+                    )
+                )
+            if not window:
+                return
+            for row in window.popleft().result():
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def evaluate_plan(
+    plan: UnionPlan,
+    data: FactsLike,
+    limit: Optional[int] = None,
+    max_workers: Optional[int] = None,
+) -> Set[Row]:
+    """Evaluate the whole union plan (or the first ``limit`` answers)."""
+    if limit is not None and limit < 0:
+        raise EvaluationError(f"limit must be non-negative, got {limit}")
+    answers: Set[Row] = set()
+    if limit == 0:
+        return answers
+    for row in stream_plan_answers(plan, data, max_workers=max_workers):
+        answers.add(row)
+        if limit is not None and len(answers) >= limit:
+            break
+    return answers

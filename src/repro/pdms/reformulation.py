@@ -30,6 +30,7 @@ oracle in :mod:`repro.pdms.semantics`.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -60,32 +61,89 @@ _CONTEXT_PREDICATE = "__ctx__"
 # ---------------------------------------------------------------------------
 
 class _LazySeq:
-    """A re-iterable view over a generator that caches produced items."""
+    """A re-iterable, thread-safe view over a generator that caches items.
 
-    __slots__ = ("_iterator", "_cache", "_done")
+    Multiple consumers — including threads of a parallel plan execution or
+    concurrent ``QueryService.stream`` iterators — may iterate one shared
+    instance: the underlying generator is advanced under a lock, each item
+    exactly once, and already-produced items are served from the cache
+    without locking (the cache list is append-only, so reads of a prefix
+    are always consistent).
+
+    A mid-stream exception from the generator is remembered: every
+    consumer reaching the truncation point re-raises it, so a failed
+    enumeration can never masquerade as a complete-but-shorter one (which
+    would silently drop answers from anything cached on top).
+    """
+
+    __slots__ = ("_iterator", "_cache", "_done", "_error", "_lock")
 
     def __init__(self, iterator: Iterator):
         self._iterator = iterator
         self._cache: List = []
         self._done = False
+        self._error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+
+    def _finished(self) -> None:
+        """Handle an observed done flag: re-raise a recorded failure."""
+        if self._error is not None:
+            raise self._error
 
     def __iter__(self):
         index = 0
         while True:
+            # Fast path: the prefix up to len(_cache) is immutable.
             if index < len(self._cache):
                 yield self._cache[index]
                 index += 1
                 continue
             if self._done:
+                # Appends strictly precede the done flag (both happen
+                # under the lock); re-check the cache length after
+                # observing it so a concurrently appended tail is never
+                # dropped.
+                if index < len(self._cache):
+                    continue
+                self._finished()
                 return
-            try:
-                item = next(self._iterator)
-            except StopIteration:
-                self._done = True
-                return
-            self._cache.append(item)
-            index += 1
+            with self._lock:
+                # Another consumer may have advanced (or exhausted) the
+                # generator while we waited for the lock; re-check both.
+                if index < len(self._cache):
+                    item = self._cache[index]
+                elif self._done:
+                    self._finished()
+                    return
+                else:
+                    try:
+                        item = next(self._iterator)
+                    except StopIteration:
+                        self._done = True
+                        return
+                    except Exception as exc:
+                        # Record the failure *before* the done flag so any
+                        # consumer observing done also sees the error.
+                        self._error = exc
+                        self._done = True
+                        raise
+                    except BaseException:
+                        # An interrupt (KeyboardInterrupt etc.) kills the
+                        # generator too, but caching the interrupt itself
+                        # would poison every later consumer with a stale
+                        # Ctrl-C.  Record a fresh, diagnosable error
+                        # instead; the interrupt propagates to whoever
+                        # caused it.
+                        self._error = ReformulationError(
+                            "the rewriting enumeration was interrupted "
+                            "before completing; re-run the reformulation "
+                            "(or clear the cache entry) to recompute"
+                        )
+                        self._done = True
+                        raise
+                    self._cache.append(item)
             yield item
+            index += 1
 
 
 # ---------------------------------------------------------------------------
@@ -208,6 +266,12 @@ class ReformulationResult:
     _assembler: "_RewritingAssembler" = field(repr=False, default=None)
     _all: Optional[List[ConjunctiveQuery]] = field(default=None, repr=False)
     _stream: Optional[_LazySeq] = field(default=None, repr=False)
+    #: Compiled shared union plan, attached lazily by
+    #: :func:`repro.pdms.planning.ensure_plan`; lives and dies with this
+    #: result, so plan validity automatically tracks the provenance signal
+    #: that governs the result itself.
+    _shared_plan: Optional[object] = field(default=None, repr=False, compare=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def rewritings(self) -> Iterator[ConjunctiveQuery]:
         """Stream the conjunctive rewritings (may contain subsumed duplicates
@@ -215,13 +279,16 @@ class ReformulationResult:
 
         Already-produced rewritings are memoized, so repeated partial
         consumption (e.g. several ``limit=k`` calls against one cached
-        result) never re-runs the Step-3 enumeration from the start.
+        result) never re-runs the Step-3 enumeration from the start.  The
+        stream is safe to consume from several threads concurrently.
         """
         if self._all is not None:
             yield from self._all
             return
         if self._stream is None:
-            self._stream = _LazySeq(self._assembler.rewritings())
+            with self._lock:
+                if self._stream is None:
+                    self._stream = _LazySeq(self._assembler.rewritings())
         yield from self._stream
 
     def first_rewritings(self, count: int) -> List[ConjunctiveQuery]:
@@ -699,6 +766,7 @@ class _RewritingAssembler:
         self._tree = tree
         self._config = config
         self._rule_cache: Dict[int, _LazySeq] = {}
+        self._cache_lock = threading.Lock()
 
     # -- public -------------------------------------------------------------------
 
@@ -739,8 +807,11 @@ class _RewritingAssembler:
     def _rule_rewritings(self, rule_node: RuleNode) -> Iterable:
         cached = self._rule_cache.get(rule_node.id)
         if cached is None:
-            cached = _LazySeq(self._rule_rewritings_iter(rule_node))
-            self._rule_cache[rule_node.id] = cached
+            with self._cache_lock:
+                cached = self._rule_cache.get(rule_node.id)
+                if cached is None:
+                    cached = _LazySeq(self._rule_rewritings_iter(rule_node))
+                    self._rule_cache[rule_node.id] = cached
         return cached
 
     def _rule_rewritings_iter(

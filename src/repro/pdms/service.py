@@ -27,8 +27,11 @@ that scenario cheap to serve repeatedly:
 * **Streaming first-k answers** — :meth:`answer` with ``limit=k`` threads
   the rewriting generator through :func:`~repro.pdms.execution.stream_answers`,
   so the first *k* answers return without enumerating all rewritings;
-  :meth:`answer_batch` shares one combined instance and the cache across
-  a query mix.
+  :meth:`answer_batch` shares one federated source and the cache across
+  a query mix.  Per-peer data is served through a no-copy
+  :class:`~repro.pdms.execution.PeerFactSource`, and compiled union
+  plans for the ``"shared"`` engine are cached alongside reformulations
+  under the same invalidation signals.
 
 This module is the substrate later scaling work (sharding, async,
 multi-backend execution) plugs into; see ``docs/pdms.md`` for the design
@@ -48,17 +51,18 @@ from ..errors import EvaluationError, PDMSConfigurationError
 from .optimizations import DEFAULT_CONFIG, ReformulationConfig
 from .peer import Peer
 from .execution import (
-    ENGINES,
+    PeerFactSource,
     Row,
     validate_engine,
-    combine_if_per_peer,
-    combine_peer_instances,
     default_engine,
     evaluate_reformulation,
+    federate_if_per_peer,
+    get_engine,
     is_per_peer_data,
     stream_answers,
 )
 from .mappings import StorageDescription
+from .planning import UnionPlan, ensure_plan
 from .reformulation import (
     CanonicalQuery,
     ReformulationResult,
@@ -76,6 +80,10 @@ class ServiceStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    #: Union plans compiled for plan-consuming engines (e.g. ``"shared"``).
+    plans_compiled: int = 0
+    #: Plans dropped because their reformulation entry was dropped.
+    plan_invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -100,10 +108,12 @@ class QueryService:
         One service instance serves one configuration — callers comparing
         ablations should run one service per configuration.
     engine:
-        Default execution engine (``"backtracking"`` or ``"plan"``).
+        Default execution engine — any registered name
+        (``"backtracking"``, ``"plan"``, or ``"shared"`` by default).
     data:
         Stored-relation data: either a single fact source, or a mapping
-        from peer name to that peer's :class:`Instance` (kept per peer so
+        from peer name to that peer's :class:`Instance` (kept per peer —
+        probes are federated to the live instances without copying, and
         :meth:`remove_peer` also drops the peer's data).
     max_entries:
         Cache capacity; least-recently-used entries are evicted beyond it.
@@ -129,6 +139,9 @@ class QueryService:
         self._engine = engine
         self._max_entries = max_entries
         self._cache: "OrderedDict[str, ReformulationResult]" = OrderedDict()
+        #: Compiled union plans, keyed like the reformulation cache and
+        #: invalidated by exactly the same provenance/eviction signals.
+        self._plans: Dict[str, UnionPlan] = {}
         self._seen_version = self._pdms.catalogue_version
         self._stats = ServiceStats()
         self._peer_data: Dict[str, Instance] = {}
@@ -160,6 +173,11 @@ class QueryService:
         """Number of currently cached reformulations."""
         return len(self._cache)
 
+    @property
+    def plan_cache_size(self) -> int:
+        """Number of currently cached compiled union plans."""
+        return len(self._plans)
+
     def cached_signatures(self) -> Tuple[str, ...]:
         """Signatures currently in the cache (LRU order, oldest first)."""
         return tuple(self._cache)
@@ -187,11 +205,13 @@ class QueryService:
 
     def _data(self, override: Union[FactsLike, Mapping[str, Instance], None]) -> FactsLike:
         if override is not None:
-            return combine_if_per_peer(override)
+            return federate_if_per_peer(override)
         if self._flat_data is not None:
             return self._flat_data
         if self._combined is None:
-            self._combined = combine_peer_instances(self._peer_data)
+            # No copy: probes route to the live per-peer instances.  The
+            # federated view is rebuilt whenever the peer-data set changes.
+            self._combined = PeerFactSource(self._peer_data)
         return self._combined
 
     # -- catalogue churn -----------------------------------------------------------
@@ -236,8 +256,17 @@ class QueryService:
         self._sync()
         return change
 
+    def _drop_plan(self, signature: str) -> None:
+        if self._plans.pop(signature, None) is not None:
+            self._stats.plan_invalidations += 1
+
     def _sync(self) -> None:
-        """Replay PDMS catalogue changes and evict affected cache entries."""
+        """Replay PDMS catalogue changes and evict affected cache entries.
+
+        Compiled union plans are keyed like the reformulation cache and
+        ride the same provenance signal: whenever an entry goes, its plan
+        goes with it.
+        """
         if self._seen_version == self._pdms.catalogue_version:
             return
         for change in self._pdms.changes_since(self._seen_version):
@@ -245,7 +274,9 @@ class QueryService:
                 # The bounded change log no longer covers our cursor;
                 # selective invalidation is impossible.
                 self._stats.invalidations += len(self._cache)
+                self._stats.plan_invalidations += len(self._plans)
                 self._cache.clear()
+                self._plans.clear()
                 break
             if not (change.affected_predicates or change.removed_origins):
                 continue
@@ -258,6 +289,7 @@ class QueryService:
             ]
             for signature in stale:
                 del self._cache[signature]
+                self._drop_plan(signature)
             self._stats.invalidations += len(stale)
         self._seen_version = self._pdms.catalogue_version
 
@@ -271,15 +303,15 @@ class QueryService:
         is ``__q__``, but head argument positions — and therefore answer
         rows — match the original query exactly.
         """
-        return self._lookup(canonicalize_query(query))
+        return self._lookup(canonicalize_query(query))[1]
 
-    def _lookup(self, canonical: CanonicalQuery) -> ReformulationResult:
+    def _lookup(self, canonical: CanonicalQuery) -> Tuple[str, ReformulationResult]:
         self._sync()
         result = self._cache.get(canonical.signature)
         if result is not None:
             self._stats.hits += 1
             self._cache.move_to_end(canonical.signature)
-            return result
+            return canonical.signature, result
         self._stats.misses += 1
         result = reformulate(self._pdms, canonical.query, config=self._config)
         # No eager materialisation: a cold `limit=k` call consumes only a
@@ -287,13 +319,31 @@ class QueryService:
         # whatever it produced so future hits continue where it stopped.
         self._cache[canonical.signature] = result
         while len(self._cache) > self._max_entries:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            self._drop_plan(evicted)
             self._stats.evictions += 1
-        return result
+        return canonical.signature, result
+
+    def _plan_for(
+        self, signature: str, result: ReformulationResult, source: FactsLike
+    ) -> UnionPlan:
+        """The compiled union plan for a cached reformulation entry.
+
+        Compiled lazily (incrementally — compilation tracks the rewriting
+        stream) and cached under the entry's signature; a stale plan
+        (whose result was invalidated and re-reformulated) is recompiled.
+        """
+        plan = self._plans.get(signature)
+        if plan is None or plan.result is not result:
+            plan = ensure_plan(result, source)
+            self._plans[signature] = plan
+            self._stats.plans_compiled += 1
+        return plan
 
     def clear_cache(self) -> None:
-        """Drop every cached reformulation (counters are preserved)."""
+        """Drop every cached reformulation and plan (counters are preserved)."""
         self._cache.clear()
+        self._plans.clear()
 
     # -- answering -------------------------------------------------------------------
 
@@ -309,15 +359,28 @@ class QueryService:
         With ``limit=k`` the evaluation streams: rewritings are pulled
         from the (cached) reformulation one at a time and evaluation
         stops once ``k`` distinct answers are known — a subset of the
-        full answer set.
+        full answer set.  Plan-consuming engines (``"shared"``) reuse the
+        compiled union plan cached alongside the reformulation.
         """
-        result = self.reformulate(query)
+        engine, source, result, plan = self._prepare(query, engine, data)
         return evaluate_reformulation(
-            result,
-            self._data(data),
-            engine=engine if engine is not None else self._engine,
-            limit=limit,
+            result, source, engine=engine, limit=limit, plan=plan
         )
+
+    def _prepare(
+        self,
+        query: ConjunctiveQuery,
+        engine: Optional[str],
+        data: Union[FactsLike, Mapping[str, Instance], None],
+    ):
+        """Resolve engine/data/reformulation/plan for one answering call."""
+        engine = validate_engine(engine if engine is not None else self._engine)
+        source = self._data(data)
+        signature, result = self._lookup(canonicalize_query(query))
+        plan = None
+        if getattr(get_engine(engine), "uses_plans", False):
+            plan = self._plan_for(signature, result, source)
+        return engine, source, result, plan
 
     def stream(
         self,
@@ -333,12 +396,8 @@ class QueryService:
         being consumed.  Callers who need post-churn answers should call
         :meth:`answer` (or :meth:`stream` again) after the change.
         """
-        result = self.reformulate(query)
-        return stream_answers(
-            result,
-            self._data(data),
-            engine=engine if engine is not None else self._engine,
-        )
+        engine, source, result, plan = self._prepare(query, engine, data)
+        return stream_answers(result, source, engine=engine, plan=plan)
 
     def answer_batch(
         self,
@@ -347,10 +406,10 @@ class QueryService:
         engine: Optional[str] = None,
         data: Union[FactsLike, Mapping[str, Instance], None] = None,
     ) -> List[Set[Row]]:
-        """Answer a query mix over one shared combined instance and cache.
+        """Answer a query mix over one shared federated source and cache.
 
-        The combined instance is assembled once for the whole batch and
-        every query goes through the reformulation cache, so repeated or
+        The data source is resolved once for the whole batch and every
+        query goes through the reformulation cache, so repeated or
         isomorphic queries in the mix are reformulated once.
         """
         shared = self._data(data)

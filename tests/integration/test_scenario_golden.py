@@ -3,7 +3,7 @@
 These pin the externally observable behaviour of the reformulation
 algorithm on the paper's Figure-1 scenario — rewriting counts, rule-goal
 tree sizes, the first rewriting produced by the streaming enumeration,
-and the answer sets — under both execution engines and every
+and the answer sets — under all three execution engines and every
 :class:`ReformulationConfig` optimization toggle, so the Section 4.3
 ablations can't silently regress.
 
@@ -96,9 +96,9 @@ class TestGoldenShape:
 
 
 class TestGoldenAnswers:
-    @pytest.mark.parametrize("engine", ["backtracking", "plan"])
+    @pytest.mark.parametrize("engine", ["backtracking", "plan", "shared"])
     @pytest.mark.parametrize("name", sorted(GOLDEN_ANSWERS))
-    def test_answers_under_both_engines(self, scenario, name, engine):
+    def test_answers_under_all_engines(self, scenario, name, engine):
         pdms, data, queries = scenario
         result = reformulate(pdms, queries[name])
         assert evaluate_reformulation(result, data, engine=engine) == GOLDEN_ANSWERS[name]
