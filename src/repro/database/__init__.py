@@ -12,13 +12,17 @@ from .planner import (
     execute_plan,
 )
 from .schema import DatabaseSchema, RelationSchema
+from .statistics import RelationStats, StatisticsCatalog, compute_relation_stats
 
 __all__ = [
     "CardinalityCostModel",
     "DatabaseSchema",
     "Instance",
     "RelationSchema",
+    "RelationStats",
+    "StatisticsCatalog",
     "Table",
+    "compute_relation_stats",
     "compile_query",
     "compile_union",
     "evaluate_query_via_plan",

@@ -14,6 +14,7 @@ same growing instance.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
@@ -54,6 +55,15 @@ class _RelationCreationClock:
 #: The clock shared by every :class:`Instance` in the process.
 relation_creation_clock = _RelationCreationClock()
 
+#: Process-unique instance ids (thread-safe under the GIL); a fresh id per
+#: Instance makes data-version tokens globally unambiguous — two instances
+#: that happen to share relation names can never alias in a version-keyed
+#: cache.
+_instance_ids = itertools.count(1)
+
+#: Data-version token of a relation the instance has never created.
+_ABSENT_VERSION = -1
+
 
 class Instance:
     """A mutable set-semantics database instance.
@@ -71,6 +81,7 @@ class Instance:
         self._relations: Dict[str, PredicateIndex] = {}
         self._arities: Dict[str, int] = {}
         self._relations_version = 0
+        self._instance_id = next(_instance_ids)
         if schema is not None:
             for relation in schema:
                 self._relations[relation.name] = PredicateIndex()
@@ -178,6 +189,32 @@ class Instance:
         """Number of rows in ``relation``."""
         index = self._relations.get(relation)
         return len(index) if index is not None else 0
+
+    @property
+    def instance_id(self) -> int:
+        """A process-unique id for this instance (part of version tokens)."""
+        return self._instance_id
+
+    def data_version(self, relation: str) -> Tuple[int, int]:
+        """The data-version token of ``relation``: ``(instance id, version)``.
+
+        The second component is the relation's monotone
+        :attr:`~repro.datalog.indexing.PredicateIndex.version` counter —
+        bumped on every insert, delete, and clear — or a sentinel when the
+        relation does not exist here.  Tokens from different instances
+        never compare equal (the instance id differs), so caches keyed on
+        them survive swapping one data set for another.
+        """
+        index = self._relations.get(relation)
+        version = index.version if index is not None else _ABSENT_VERSION
+        return (self._instance_id, version)
+
+    def version_vector(
+        self, relations: Optional[Iterable[str]] = None
+    ) -> Dict[str, Tuple[int, int]]:
+        """Per-relation data-version tokens (all relations by default)."""
+        names = tuple(relations) if relations is not None else tuple(self._relations)
+        return {name: self.data_version(name) for name in names}
 
     def total_rows(self) -> int:
         """Total number of rows across all relations."""

@@ -34,6 +34,7 @@ from ..datalog.queries import ConjunctiveQuery, UnionQuery
 from ..datalog.terms import Constant, Term, Variable, is_variable
 from ..errors import EvaluationError
 from .algebra import Table, union_many
+from .statistics import StatisticsCatalog, WeakStatisticsCatalog, shared_statistics
 
 Row = Tuple[object, ...]
 
@@ -253,27 +254,44 @@ class EmptyNode(PlanNode):
 # ---------------------------------------------------------------------------
 
 class CardinalityCostModel:
-    """Per-relation cardinalities of one fact source, cached for planning.
+    """Relation statistics of one fact source, packaged for planning.
 
-    The model answers two questions the planners ask: how many rows a
-    relation holds (``cardinality``) and how many rows a filtered scan of
-    an atom is expected to produce (``atom_estimate`` — the relation's
-    cardinality shrunk by one notch per pushed-down constant filter and
-    per repeated-variable equality, the same crude heuristic the greedy
-    join order always used).  Cardinalities are read once per relation and
-    cached, so repeated compilations against the same data (a union of
-    rewritings over a handful of stored relations) do not rescan.
+    Backed by a :class:`~repro.database.statistics.StatisticsCatalog`:
+    besides per-relation cardinalities, the model now knows per-column
+    distinct counts, so a pushed-down constant filter is priced at its
+    real point selectivity (``cardinality / distinct``) and a
+    repeated-variable or join equality at ``1 / max(d_i, d_j)`` — instead
+    of the old fixed shrink-one-notch-per-restriction heuristic (which
+    survives as the fallback when no statistics are available).  Stats
+    are version-validated against the source's per-relation data
+    versions, so repeated compilations over slowly changing data rescan
+    only the relations that moved.
     """
 
-    __slots__ = ("_source", "_cache")
+    __slots__ = ("_statistics",)
 
-    def __init__(self, facts: Optional[FactsLike] = None):
-        self._source = as_fact_source(facts) if facts is not None else None
-        self._cache: Dict[str, int] = {}
+    def __init__(
+        self,
+        facts: Optional[FactsLike] = None,
+        statistics: Optional[StatisticsCatalog] = None,
+    ):
+        if statistics is not None:
+            self._statistics = statistics
+        elif facts is not None:
+            # The catalog is shared per source (and version-validated), so
+            # per-call model construction costs no rescans.
+            self._statistics = shared_statistics(as_fact_source(facts))
+        else:
+            self._statistics = StatisticsCatalog(None)
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        """The backing statistics catalog."""
+        return self._statistics
 
     @classmethod
     def snapshot(cls, facts: FactsLike) -> "CardinalityCostModel":
-        """A cost model that captures cardinalities eagerly and then drops
+        """A cost model that captures statistics eagerly and then drops
         its reference to the data.
 
         Safe to keep on long-lived compiled plans: a model built this way
@@ -281,47 +299,91 @@ class CardinalityCostModel:
         instance or a one-off data override).  Requires a source whose
         relations can be enumerated (a mapping, or anything with a
         ``relations()`` method — instances and federated sources both
-        qualify); other sources fall back to the live-reference model.
+        qualify); other sources fall back to whatever was cached.
         """
         model = cls(facts)
-        names = None
-        if isinstance(facts, Mapping):
-            names = list(facts)
-        else:
-            lister = getattr(facts, "relations", None)
-            if callable(lister):
-                names = list(lister())
-        if names is not None:
-            for relation in names:
-                model.cardinality(relation)
-            model._source = None
+        # Detach via a copy: the live catalog is shared across models of
+        # this source and must keep revalidating for them.
+        model._statistics = model._statistics.frozen_copy()
         return model
+
+    @classmethod
+    def pinless(cls, facts: FactsLike) -> "CardinalityCostModel":
+        """A model that never pins (and never eagerly scans) the source.
+
+        Statistics are read lazily through the source's shared catalog
+        via a weak reference — full fidelity while the source lives, a
+        frozen view of whatever was observed once it is dropped.  This is
+        what long-lived compiled plans hold: unlike :meth:`snapshot` it
+        costs nothing up front, and unlike a live model it cannot keep a
+        removed peer's data in memory.
+
+        Plain mappings are the exception: ``as_fact_source`` adapts them
+        into a throwaway object that would die under a weak reference
+        before any stats read, so they are captured eagerly instead —
+        the adapter already copied every row at construction, making one
+        stats pass the same order of work.
+        """
+        source = as_fact_source(facts)
+        if source is not facts:
+            return cls(statistics=shared_statistics(source).frozen_copy())
+        return cls(statistics=WeakStatisticsCatalog(source))
 
     def cardinality(self, relation: str) -> int:
         """Row count of ``relation`` (0 without a source or for unknown names)."""
-        cached = self._cache.get(relation)
-        if cached is not None:
-            return cached
-        if self._source is None:
-            return 0
-        counter = getattr(self._source, "cardinality", None)
-        if callable(counter):
-            cached = counter(relation)
-        else:
-            cached = sum(1 for _ in self._source.get_tuples(relation))
-        self._cache[relation] = cached
-        return cached
+        return self._statistics.cardinality(relation)
+
+    def column_distinct(self, relation: str, position: int) -> int:
+        """Distinct values at one column position (>= 1)."""
+        return self._statistics.column_distinct(relation, position)
 
     def scan_estimate(self, relation: str, filters: int = 0, equalities: int = 0) -> int:
-        """Estimated output rows of a scan with pushed-down restrictions."""
+        """Positionless estimate: the legacy shrink-per-restriction heuristic.
+
+        Kept for callers that only know *how many* restrictions a scan
+        carries; :meth:`restriction_estimate` prices known positions with
+        real selectivities.
+        """
         return max(self.cardinality(relation) // (1 + filters + equalities), 0)
+
+    def restriction_estimate(
+        self,
+        relation: str,
+        constant_positions: Sequence[int] = (),
+        equal_position_pairs: Sequence[Tuple[int, int]] = (),
+    ) -> int:
+        """Estimated output rows of a scan restricted at known positions."""
+        if not constant_positions and not equal_position_pairs:
+            # Unrestricted scans need only the cardinality, which the
+            # catalog serves in O(1) — don't force a distinct-count scan.
+            return self._statistics.cardinality(relation)
+        stats = self._statistics.stats(relation)
+        estimate = float(stats.cardinality)
+        if estimate <= 0:
+            return 0
+        for position in constant_positions:
+            estimate /= stats.distinct_at(position)
+        for first, second in equal_position_pairs:
+            estimate /= max(stats.distinct_at(first), stats.distinct_at(second))
+        return max(int(estimate), 1) if estimate > 0 else 0
 
     def atom_estimate(self, atom: Atom) -> int:
         """Estimated rows produced by scanning for one relational atom."""
-        constants = sum(1 for arg in atom.args if not is_variable(arg))
-        variables = [arg for arg in atom.args if is_variable(arg)]
-        repeated = len(variables) - len(set(variables))
-        return self.scan_estimate(atom.predicate, constants, repeated)
+        constant_positions: List[int] = []
+        equal_pairs: List[Tuple[int, int]] = []
+        first_position: Dict[Variable, int] = {}
+        for position, arg in enumerate(atom.args):
+            if is_variable(arg):
+                earlier = first_position.get(arg)
+                if earlier is None:
+                    first_position[arg] = position
+                else:
+                    equal_pairs.append((earlier, position))
+            else:
+                constant_positions.append(position)
+        return self.restriction_estimate(
+            atom.predicate, constant_positions, equal_pairs
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -355,10 +417,12 @@ def _scan_for_atom(atom: Atom) -> ScanNode:
 
 
 def _estimate(node: PlanNode, cost: CardinalityCostModel) -> int:
-    """A crude cardinality estimate used only to pick a greedy join order."""
+    """A cardinality estimate used only to pick a greedy join order."""
     if isinstance(node, ScanNode):
-        return cost.scan_estimate(
-            node.relation, len(node.filters), len(node.equal_positions)
+        return cost.restriction_estimate(
+            node.relation,
+            tuple(position for position, _ in node.filters),
+            node.equal_positions,
         )
     if isinstance(node, JoinNode):  # pragma: no cover - not used during ordering
         return _estimate(node.left, cost) * max(_estimate(node.right, cost), 1)

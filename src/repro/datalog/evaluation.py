@@ -85,6 +85,15 @@ class _MappingFacts:
         index = self._indexes.get(predicate)
         return index.matching(pattern) if index is not None else ()
 
+    def relations(self) -> Tuple[str, ...]:
+        """Relation names in the adapted mapping (for stats snapshots)."""
+        return tuple(self._indexes)
+
+    def cardinality(self, relation: str) -> int:
+        """Row count of ``relation`` (0 when unknown)."""
+        index = self._indexes.get(relation)
+        return len(index) if index is not None else 0
+
 
 def as_fact_source(facts: FactsLike) -> FactSource:
     """Coerce a mapping or fact source into a :class:`FactSource`."""

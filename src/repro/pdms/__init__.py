@@ -24,6 +24,15 @@ from .execution import (
     stream_answers,
     validate_engine,
 )
+from .materialization import (
+    AdmissionPolicy,
+    FragmentCache,
+    FragmentCacheStats,
+    data_version_token,
+    estimate_result_bytes,
+    fragment_cache_from_env,
+    int_from_env,
+)
 from .planning import (
     PlanStatistics,
     UnionPlan,
@@ -62,6 +71,7 @@ from .system import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
     "CanonicalQuery",
     "CatalogueChange",
     "ComplexityClass",
@@ -70,6 +80,8 @@ __all__ = [
     "DefinitionalMapping",
     "EqualityMapping",
     "ExpansionOrder",
+    "FragmentCache",
+    "FragmentCacheStats",
     "GoalNode",
     "InclusionMapping",
     "NormalizedCatalogue",
@@ -102,12 +114,16 @@ __all__ = [
     "combine_peer_instances",
     "compile_reformulation",
     "compute_productive_predicates",
+    "data_version_token",
     "default_engine",
     "ensure_plan",
+    "estimate_result_bytes",
     "evaluate_plan",
     "evaluate_reformulation",
     "federate_if_per_peer",
+    "fragment_cache_from_env",
     "get_engine",
+    "int_from_env",
     "is_consistent",
     "lav_style",
     "qualified_name",

@@ -48,6 +48,7 @@ from ..datalog.evaluation import FactsLike, evaluate_query
 from ..datalog.indexing import Pattern
 from ..datalog.queries import ConjunctiveQuery
 from ..errors import EvaluationError, MappingError
+from .materialization import FragmentCache, data_version_token
 from .optimizations import ReformulationConfig
 from .planning import (
     UnionPlan,
@@ -75,7 +76,12 @@ class ExecutionEngine(Protocol):
     ``stream`` yields *distinct* answer rows incrementally; consuming only
     a prefix must not force the full rewriting enumeration.  Engines that
     consume compiled union plans set ``uses_plans`` so callers holding a
-    plan cache (the service layer) can pass one in.
+    plan cache (the service layer) can pass one in.  ``cache`` (optional)
+    is a cross-call :class:`~repro.pdms.materialization.FragmentCache`;
+    every engine routes its repeated work through it at whatever
+    granularity fits — shared fragment tables for the union-plan engine,
+    whole-rewriting answer sets for the per-rewriting engines — and
+    ignores it when the data source exposes no data versions.
     """
 
     name: str
@@ -85,12 +91,20 @@ class ExecutionEngine(Protocol):
         result: ReformulationResult,
         data: FactsLike,
         plan: Optional[UnionPlan] = None,
+        cache: Optional[FragmentCache] = None,
     ) -> Iterator[Row]:  # pragma: no cover - protocol
         ...
 
 
 class PerRewritingEngine:
-    """Wraps a per-rewriting evaluator into the engine interface."""
+    """Wraps a per-rewriting evaluator into the engine interface.
+
+    With a fragment cache, each rewriting's full answer set is cached
+    under its canonical query signature plus the data-version token of
+    the relations it reads — the whole rewriting is treated as one
+    coarse fragment, so repeated traffic over unchanged data skips the
+    evaluator entirely while a write to any read relation recomputes.
+    """
 
     uses_plans = False
 
@@ -98,15 +112,36 @@ class PerRewritingEngine:
         self.name = name
         self._evaluate = evaluate
 
+    def _rows(
+        self,
+        rewriting: ConjunctiveQuery,
+        data: FactsLike,
+        cache: Optional[FragmentCache],
+    ):
+        if cache is None:
+            return self._evaluate(rewriting, data)
+        relations = {atom.predicate for atom in rewriting.relational_body()}
+        token = data_version_token(data, relations)
+        if token is None:
+            return self._evaluate(rewriting, data)
+        key = "rewriting::" + canonicalize_query(rewriting).signature
+        return cache.get_or_compute(
+            key,
+            token,
+            relations,
+            lambda: frozenset(self._evaluate(rewriting, data)),
+        )
+
     def stream(
         self,
         result: ReformulationResult,
         data: FactsLike,
         plan: Optional[UnionPlan] = None,
+        cache: Optional[FragmentCache] = None,
     ) -> Iterator[Row]:
         seen: Set[Row] = set()
         for rewriting in result.rewritings():
-            for row in self._evaluate(rewriting, data):
+            for row in self._rows(rewriting, data, cache):
                 if row not in seen:
                     seen.add(row)
                     yield row
@@ -134,6 +169,7 @@ class SharedPlanEngine:
         result: ReformulationResult,
         data: FactsLike,
         plan: Optional[UnionPlan] = None,
+        cache: Optional[FragmentCache] = None,
     ) -> Iterator[Row]:
         workers = (
             self._max_workers
@@ -147,7 +183,7 @@ class SharedPlanEngine:
                 "the supplied union plan was compiled for a different "
                 "reformulation result"
             )
-        return stream_plan_answers(plan, data, max_workers=workers)
+        return stream_plan_answers(plan, data, max_workers=workers, cache=cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SharedPlanEngine({self.name!r})"
@@ -273,6 +309,11 @@ class PeerFactSource:
         "_clock_stamp",
         "_version_stamp",
         "_lock",
+        # Slot for the shared statistics catalog (see
+        # repro.database.statistics.shared_statistics), so cost models over
+        # one federated source reuse one version-validated catalog whose
+        # lifetime equals the source's.
+        "_repro_statistics",
         "__weakref__",
     )
 
@@ -354,6 +395,20 @@ class PeerFactSource:
         """Total row count across owners (feeds the planner's cost model)."""
         return sum(owner.cardinality(relation) for owner in self._route(relation))
 
+    def data_version(self, relation: str) -> Tuple[Tuple[int, int], ...]:
+        """The federated data-version token of ``relation``.
+
+        A sorted tuple of the owning instances' per-relation tokens — it
+        changes whenever any owner's rows change *and* whenever the owner
+        set itself changes (a peer joining or leaving swaps instances, and
+        instance ids are process-unique), so version-keyed caches see peer
+        churn as naturally as data writes.  Unknown relations yield the
+        empty tuple.
+        """
+        return tuple(
+            sorted(owner.data_version(relation) for owner in self._route(relation))
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PeerFactSource({len(self._routes)} relations)"
 
@@ -420,6 +475,7 @@ def stream_answers(
     data: Union[FactsLike, Mapping[str, Instance]],
     engine: Optional[str] = None,
     plan: Optional[UnionPlan] = None,
+    cache: Optional[FragmentCache] = None,
 ) -> Iterator[Row]:
     """Yield distinct answer rows as the rewriting enumeration progresses.
 
@@ -429,11 +485,13 @@ def stream_answers(
     enumeration — the first-k path of the service layer rides on this.
 
     ``plan`` (optional) hands a cached compiled union plan to engines that
-    consume one; other engines ignore it.  A bad ``engine`` name raises
+    consume one; other engines ignore it.  ``cache`` (optional) is a
+    cross-call :class:`~repro.pdms.materialization.FragmentCache` every
+    engine routes repeated work through.  A bad ``engine`` name raises
     here, at call time, not on first iteration.
     """
     impl = get_engine(engine if engine is not None else default_engine())
-    return impl.stream(result, federate_if_per_peer(data), plan=plan)
+    return impl.stream(result, federate_if_per_peer(data), plan=plan, cache=cache)
 
 
 def evaluate_reformulation(
@@ -442,6 +500,7 @@ def evaluate_reformulation(
     engine: Optional[str] = None,
     limit: Optional[int] = None,
     plan: Optional[UnionPlan] = None,
+    cache: Optional[FragmentCache] = None,
 ) -> Set[Row]:
     """Evaluate the rewritings of ``result`` over ``data`` (set semantics).
 
@@ -460,7 +519,7 @@ def evaluate_reformulation(
     answers: Set[Row] = set()
     if limit == 0:
         return answers
-    for row in stream_answers(result, data, engine=engine, plan=plan):
+    for row in stream_answers(result, data, engine=engine, plan=plan, cache=cache):
         answers.add(row)
         if limit is not None and len(answers) >= limit:
             break
@@ -474,18 +533,19 @@ def answer_query(
     config: Optional[ReformulationConfig] = None,
     engine: Optional[str] = None,
     limit: Optional[int] = None,
+    cache: Optional[FragmentCache] = None,
 ) -> Set[Row]:
     """Reformulate ``query`` and evaluate it over stored-relation data.
 
     ``data`` is either a single fact source over stored relations, or a
     mapping from peer name to that peer's :class:`Instance` (in which case
     probes are federated to the live per-peer instances — no copy).
-    ``engine`` and ``limit`` are passed through to
+    ``engine``, ``limit``, and ``cache`` are passed through to
     :func:`evaluate_reformulation`.
     """
     data = federate_if_per_peer(data)
     result = reformulate(pdms, query, config=config)
-    return evaluate_reformulation(result, data, engine=engine, limit=limit)
+    return evaluate_reformulation(result, data, engine=engine, limit=limit, cache=cache)
 
 
 def answer_query_batch(
@@ -495,6 +555,7 @@ def answer_query_batch(
     config: Optional[ReformulationConfig] = None,
     engine: Optional[str] = None,
     limit: Optional[int] = None,
+    cache: Optional[FragmentCache] = None,
 ) -> List[Set[Row]]:
     """Answer a mix of queries over one shared federated source.
 
@@ -517,7 +578,9 @@ def answer_query_batch(
             result = reformulate(pdms, canonical.query, config=config)
             results[canonical.signature] = result
         answers.append(
-            evaluate_reformulation(result, source, engine=engine, limit=limit)
+            evaluate_reformulation(
+                result, source, engine=engine, limit=limit, cache=cache
+            )
         )
     return answers
 

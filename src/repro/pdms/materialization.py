@@ -1,0 +1,366 @@
+"""Cross-call fragment materialization with data-version invalidation.
+
+The shared union plan (:mod:`repro.pdms.planning`) computes every hash-
+consed sub-conjunction fragment once *per execution* and throws the table
+away when the call returns.  Repeated query traffic over slowly changing
+peer data therefore re-executes the same joins on every call.  This module
+adds the missing cache level:
+
+* a :class:`FragmentCache` holds fragment tables **across calls**, keyed
+  by ``(canonical fragment key, data-version token)`` — the token is the
+  sorted vector of per-relation data versions under the fragment (see
+  :meth:`repro.database.instance.Instance.data_version` and the federated
+  :meth:`repro.pdms.execution.PeerFactSource.data_version`), so a write to
+  one predicate silently invalidates exactly the fragments that read it
+  while every other entry stays warm, and peer join/leave churns the token
+  through the owner set;
+* an :class:`AdmissionPolicy` decides which computed fragments are worth
+  keeping (cost/benefit: measured compute time vs estimated footprint),
+  and a byte-budgeted LRU bounds total memory;
+* :class:`FragmentCacheStats` counts hits/misses/admissions/rejections/
+  evictions/invalidations for the service layer's reporting.
+
+The cache stores whatever result object the caller hands it (fragment
+:class:`~repro.database.algebra.Table` objects from the shared engine,
+frozen row sets from the per-rewriting engines) — all of them immutable,
+so entries can be shared freely across calls and threads.
+
+Correctness does not depend on explicit invalidation: a stale entry can
+never be *returned* (its token no longer matches), only linger until the
+next request for its key replaces it or the LRU evicts it.  Explicit
+invalidation (:meth:`FragmentCache.invalidate_relations`, wired to the
+service layer's provenance signals) is memory hygiene, not correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..database.algebra import Table
+from ..database.statistics import source_data_version
+from ..errors import EvaluationError
+
+#: Default byte budget for a service-level fragment cache (64 MiB).
+DEFAULT_FRAGMENT_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Most distinct keys whose miss counts are remembered for admission
+#: decisions; oldest-touched keys are forgotten beyond it.
+_MISS_TRACKING_LIMIT = 4096
+
+
+# ---------------------------------------------------------------------------
+# Environment handling (fail fast on malformed values)
+# ---------------------------------------------------------------------------
+
+def int_from_env(name: str, default: int, minimum: int = 0) -> int:
+    """Read an integer from the environment, failing fast when malformed.
+
+    Mirrors the fail-fast treatment of ``REPRO_DEFAULT_ENGINE``: a
+    non-integer or below-minimum value raises :class:`EvaluationError` at
+    the first call that reads it, with the offending value spelled out —
+    never a silent fallback that hides a typo'd deployment knob.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EvaluationError(f"{name}={raw!r} is not an integer") from None
+    if value < minimum:
+        raise EvaluationError(f"{name}={raw!r} must be >= {minimum}")
+    return value
+
+
+def fragment_cache_from_env() -> Optional["FragmentCache"]:
+    """A fragment cache sized by ``REPRO_FRAGMENT_CACHE_BYTES``.
+
+    Unset uses :data:`DEFAULT_FRAGMENT_CACHE_BYTES`; ``0`` disables
+    cross-call fragment caching entirely (returns ``None``); malformed
+    values raise :class:`EvaluationError` (see :func:`int_from_env`).
+    """
+    budget = int_from_env(
+        "REPRO_FRAGMENT_CACHE_BYTES", DEFAULT_FRAGMENT_CACHE_BYTES
+    )
+    return FragmentCache(max_bytes=budget) if budget > 0 else None
+
+
+# ---------------------------------------------------------------------------
+# Version tokens and size estimates
+# ---------------------------------------------------------------------------
+
+def data_version_token(
+    source: object, relations: Iterable[str]
+) -> Optional[Tuple[Tuple[str, object], ...]]:
+    """The combined data-version token of ``relations`` in ``source``.
+
+    ``None`` when the source exposes no per-relation versions (plain
+    mappings, one-off snapshots) — the caller must then bypass the cache,
+    because staleness would be undetectable.  The per-relation probe is
+    :func:`repro.database.statistics.source_data_version`, the one
+    protocol check shared with the statistics layer.
+    """
+    tokens = []
+    for relation in sorted(relations):
+        token = source_data_version(source, relation)
+        if token is None:
+            return None
+        tokens.append((relation, token))
+    return tuple(tokens)
+
+
+def estimate_result_bytes(value: object) -> int:
+    """A deterministic O(1) footprint estimate of a cached result.
+
+    Accepts a :class:`Table` or any sized collection of equal-width row
+    tuples.  Charges the tuple skeleton plus one pointer per cell; cell
+    payloads are shared with the base data, so they are deliberately not
+    charged twice.
+    """
+    rows = value.rows if isinstance(value, Table) else value
+    count = len(rows)  # type: ignore[arg-type]
+    width = len(next(iter(rows))) if count else 0  # type: ignore[arg-type]
+    return 128 + count * (56 + 16 * width)
+
+
+# ---------------------------------------------------------------------------
+# Statistics and admission
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FragmentCacheStats:
+    """Counters describing how the fragment cache behaved so far."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Computed results the admission policy decided to keep.
+    admissions: int = 0
+    #: Computed results the admission policy declined.
+    rejections: int = 0
+    #: Entries dropped to stay within the byte budget (LRU order).
+    evictions: int = 0
+    #: Entries dropped because their data version moved or an explicit
+    #: invalidation (peer leave, mapping change, clear) named them.
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Cost/benefit gate deciding which computed fragments to keep.
+
+    A fragment is admitted when it is *worth its memory*: it must fit
+    (``max_entry_fraction`` of the budget), it must have cost enough to
+    compute (``min_benefit_seconds`` of measured wall clock — the benefit
+    a future hit buys back), and it must have been requested often enough
+    (``min_misses``; 2 admits only on the second miss, i.e. proven repeat
+    traffic).  The defaults admit everything that fits: with a byte-
+    budgeted LRU behind it, optimistic admission loses only to workloads
+    that stream many large one-shot fragments — exactly what raising
+    ``min_misses`` to 2 is for.
+    """
+
+    min_benefit_seconds: float = 0.0
+    max_entry_fraction: float = 0.5
+    min_misses: int = 1
+
+    def admit(
+        self,
+        key: str,
+        byte_size: int,
+        compute_seconds: float,
+        misses: int,
+        budget_bytes: int,
+    ) -> bool:
+        """Should a result just computed for ``key`` be materialised?"""
+        if byte_size > self.max_entry_fraction * budget_bytes:
+            return False
+        if compute_seconds < self.min_benefit_seconds:
+            return False
+        return misses >= self.min_misses
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+class _Entry:
+    __slots__ = ("key", "token", "relations", "value", "nbytes")
+
+    def __init__(self, key, token, relations, value, nbytes):
+        self.key = key
+        self.token = token
+        self.relations = relations
+        self.value = value
+        self.nbytes = nbytes
+
+
+class FragmentCache:
+    """Cross-call fragment tables keyed by ``(fragment key, data version)``.
+
+    One entry per fragment key: a lookup whose token no longer matches
+    drops the stale entry and recomputes, so versions churn in place
+    instead of accumulating.  All operations are thread-safe; ``compute``
+    callbacks run outside the lock (two racing misses on one key may both
+    compute — both results are identical, the second insert wins — which
+    keeps fragment evaluation deadlock-free under the per-call memo).
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_FRAGMENT_CACHE_BYTES,
+        policy: Optional[AdmissionPolicy] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if max_bytes < 1:
+            raise EvaluationError("FragmentCache max_bytes must be at least 1")
+        self._max_bytes = max_bytes
+        self._policy = policy if policy is not None else AdmissionPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._current_bytes = 0
+        self._miss_counts: Dict[str, int] = {}
+        self.stats = FragmentCacheStats()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def max_bytes(self) -> int:
+        """The byte budget entries are evicted to stay within."""
+        return self._max_bytes
+
+    @property
+    def current_bytes(self) -> int:
+        """Estimated bytes currently held."""
+        return self._current_bytes
+
+    @property
+    def policy(self) -> AdmissionPolicy:
+        """The admission policy in force."""
+        return self._policy
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_keys(self) -> Tuple[str, ...]:
+        """Fragment keys currently cached (LRU order, oldest first)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    # -- the lookup --------------------------------------------------------
+
+    def get_or_compute(
+        self,
+        key: str,
+        token: object,
+        relations: Iterable[str],
+        compute: Callable[[], object],
+    ):
+        """The cached result for ``key`` at ``token``, computing on miss.
+
+        ``relations`` names the base relations the result reads (for
+        explicit invalidation); ``token`` is the caller's data-version
+        token for exactly those relations (see :func:`data_version_token`).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.token == token:
+                    self.stats.hits += 1
+                    self._entries.move_to_end(key)
+                    return entry.value
+                # The data moved underneath: drop the stale version now so
+                # it stops occupying budget while we recompute.
+                self._remove_locked(key)
+                self.stats.invalidations += 1
+            self.stats.misses += 1
+            misses = self._miss_counts.get(key, 0) + 1
+            self._miss_counts.pop(key, None)  # re-insert as most recent
+            self._miss_counts[key] = misses
+            # Miss tracking only informs admission (min_misses); bound it
+            # so keys whose results are never admitted — one-shot traffic
+            # under a picky policy — cannot accumulate forever.
+            while len(self._miss_counts) > _MISS_TRACKING_LIMIT:
+                self._miss_counts.pop(next(iter(self._miss_counts)))
+        started = self._clock()
+        value = compute()
+        elapsed = self._clock() - started
+        nbytes = estimate_result_bytes(value)
+        with self._lock:
+            if self._policy.admit(key, nbytes, elapsed, misses, self._max_bytes):
+                if key in self._entries:
+                    self._remove_locked(key)
+                self._entries[key] = _Entry(
+                    key, token, frozenset(relations), value, nbytes
+                )
+                self._current_bytes += nbytes
+                self.stats.admissions += 1
+                self._miss_counts.pop(key, None)
+                while self._current_bytes > self._max_bytes and self._entries:
+                    evicted, _ = next(iter(self._entries.items()))
+                    self._remove_locked(evicted)
+                    self.stats.evictions += 1
+            else:
+                self.stats.rejections += 1
+        return value
+
+    # -- invalidation ------------------------------------------------------
+
+    def _remove_locked(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._current_bytes -= entry.nbytes
+
+    def invalidate_relations(self, relations: Iterable[str]) -> int:
+        """Drop every entry reading any of ``relations``; returns the count.
+
+        The version-token check already guarantees stale entries are never
+        *served*; this reclaims their memory eagerly when the caller knows
+        a whole relation went away (peer leave) or a catalogue change made
+        a family of fragments unreachable.
+        """
+        doomed = frozenset(relations)
+        if not doomed:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.relations & doomed
+            ]
+            for key in stale:
+                self._remove_locked(key)
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop every entry (counters are preserved); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._miss_counts.clear()
+            self._current_bytes = 0
+            self.stats.invalidations += dropped
+            return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FragmentCache({len(self._entries)} entries, "
+            f"{self._current_bytes}/{self._max_bytes} bytes, "
+            f"{self.stats.hits}h/{self.stats.misses}m)"
+        )

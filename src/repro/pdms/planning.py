@@ -13,18 +13,25 @@ top.
 
 Sharing model
 -------------
-Each rewriting's relational atoms are cost-ordered (greedy
-smallest-estimate-first over connected atoms, using per-relation
-cardinalities from a :class:`~repro.database.planner.CardinalityCostModel`)
-and folded into a left-deep chain of :class:`ConjunctionFragment` nodes.
-Every fragment is keyed by the *canonical rendering* of its ordered atom
-prefix — variables positionally renamed, constants and repeated-variable
-equalities spelled out — so alpha-equivalent sub-conjunctions from
-different rewritings hash to the same node.  Because the cost ordering is
-deterministic for a given atom multiset, rewritings that share subgoals
-share long plan prefixes, and each shared fragment's result table is
-computed **once per execution** and reused by every rewriting containing
-it.
+Each rewriting's relational atoms are folded into a tree of
+:class:`ScanFragment` / :class:`JoinFragment` nodes.  Every fragment is
+keyed by the *canonical rendering* of its atom multiset — atoms committed
+in greedy-lexicographic canonical order, variables positionally renamed,
+constants and repeated-variable equalities spelled out — so
+alpha-equivalent sub-conjunctions from different rewritings hash to the
+same node regardless of the join tree that first built them, and each
+shared fragment's result table is computed **once per execution** and
+reused by every rewriting containing it.
+
+Two tree shapes are supported.  The default is **bushy**: groups of atoms
+are merged pairwise bottom-up (greedy-operator-ordering style), preferring
+merges whose canonical key already exists in the plan's node table, then
+the smallest estimated join output per the stats-driven
+:class:`~repro.database.planner.CardinalityCostModel`.  Sub-conjunctions
+of *any* shape — not just cost-order prefixes — are therefore shared
+across rewritings.  ``bushy=False`` keeps the PR 3 behaviour (left-deep
+cost-ordered chains, sharing restricted to common prefixes) for
+comparison; both shapes produce identical answers.
 
 Execution
 ---------
@@ -37,16 +44,22 @@ forces the remaining fragments.  Compilation itself is incremental — the
 plan ingests rewritings lazily from the (memoized, thread-safe) rewriting
 stream, so a ``limit=k`` call compiles only the prefix it evaluates.
 
+A :class:`~repro.pdms.materialization.FragmentCache` (optional ``cache``
+argument) adds a second memo level that persists **across** calls: each
+fragment's table is keyed by its canonical key plus the data-version
+token of the relations it reads, so repeated queries over unchanged data
+reuse materialised fragments and a write to one predicate invalidates
+only the fragments that read it.
+
 See ``docs/execution.md`` for the architecture notes.
 """
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..database.algebra import Table
 from ..database.planner import CardinalityCostModel
@@ -56,6 +69,7 @@ from ..datalog.indexing import WILDCARD, ensure_indexed
 from ..datalog.queries import ConjunctiveQuery
 from ..datalog.terms import Variable, is_variable
 from ..errors import EvaluationError
+from .materialization import FragmentCache, data_version_token, int_from_env
 from .reformulation import ReformulationResult, _LazySeq
 
 Row = Tuple[object, ...]
@@ -91,13 +105,15 @@ class ScanFragment:
 
 @dataclass(frozen=True)
 class JoinFragment:
-    """An interior node: the left prefix joined with one more scan.
+    """An interior node: two child fragments joined on their shared variables.
 
     ``left_key``/``right_key`` name child fragments in the plan's node
-    table.  The left child shares this node's canonical namespace (prefix
-    renaming is stable under extension), so only the right child's columns
-    are renamed (``right_rename``: right column -> this namespace) before
-    the natural join; the result is projected to ``columns``.
+    table.  Each child's columns are renamed into this node's canonical
+    namespace (``left_rename``/``right_rename``: child column -> this
+    namespace) before the natural join; the result is projected to
+    ``columns``.  In left-deep chains the left child already shares the
+    parent namespace, so ``left_rename`` stays empty (identity); bushy
+    nodes rename both children.
     """
 
     key: str
@@ -105,6 +121,7 @@ class JoinFragment:
     right_key: str
     right_rename: Tuple[Tuple[str, str], ...]
     columns: Tuple[str, ...]
+    left_rename: Tuple[Tuple[str, str], ...] = ()
 
 
 PlanFragment = Union[ScanFragment, JoinFragment]
@@ -177,6 +194,90 @@ def _render_atom(
     return f"{atom.predicate}({','.join(parts)})", local
 
 
+#: Total extra branches one canonicalization may spend exploring rendering
+#: ties.  Ties are rare outside pathologically symmetric bodies (several
+#: atoms of one predicate over pairwise-fresh variables); the budget keeps
+#: those worst cases linear instead of factorial while typical bodies
+#: still canonicalise exactly.
+_TIE_BRANCH_BUDGET = 16
+
+
+def _canonical_parts(
+    atoms: Sequence[Atom],
+    namespace: Dict[Variable, str],
+    budget: Optional[List[int]] = None,
+) -> Tuple[Tuple[str, ...], Dict[Variable, str]]:
+    """Order-independent canonical rendering of an atom multiset.
+
+    Atoms are committed greedily: at each step the atom whose rendering in
+    the namespace-so-far is lexicographically smallest goes next; ties —
+    several atoms rendering identically — are explored and the smallest
+    complete rendering wins, up to :data:`_TIE_BRANCH_BUDGET` extra
+    branches per top-level call (beyond the budget the first tied atom is
+    taken, trading a little sharing on symmetric bodies for bounded
+    work).  Alpha-equivalent multisets therefore produce the same parts
+    tuple whatever order the atoms arrived in, which is what lets bushy
+    merge trees built along different paths hash-cons to one node.  The
+    returned namespace maps every variable of ``atoms`` to its canonical
+    column name.
+    """
+    if not atoms:
+        return (), dict(namespace)
+    if budget is None:
+        budget = [_TIE_BRANCH_BUDGET]
+    rendered = [
+        (_render_atom(atom, namespace), index) for index, atom in enumerate(atoms)
+    ]
+    best = min(entry[0][0] for entry in rendered)
+    tied = [
+        (extended, index)
+        for (rendering, extended), index in rendered
+        if rendering == best
+    ]
+    if len(tied) > 1:
+        affordable = 1 + max(budget[0], 0)
+        tied = tied[:affordable]
+        budget[0] -= len(tied) - 1
+    options = []
+    for extended, index in tied:
+        rest = tuple(atoms[:index]) + tuple(atoms[index + 1:])
+        rest_parts, final = _canonical_parts(rest, extended, budget)
+        options.append(((best,) + rest_parts, final))
+    return min(options, key=lambda option: option[0])
+
+
+def _conjunction_key(parts: Sequence[str]) -> str:
+    return " & ".join(parts)
+
+
+class _Group:
+    """One sub-conjunction being assembled during bushy compilation.
+
+    Tracks the committed fragment (``key``), the mapping from the
+    rewriting's variables to the fragment's canonical columns
+    (``varmap``), the atom multiset, and cheap cost-model summaries: the
+    estimated row count and an estimated distinct count per variable
+    (both 0 when no cost model steers compilation).  ``shared`` records
+    whether the fragment already existed before this group touched it —
+    i.e. another rewriting (or an earlier occurrence) referenced it — the
+    signal the merge ordering uses to build join pairs that recur across
+    the union instead of pairs involving a rewriting-unique atom.
+    """
+
+    __slots__ = (
+        "key", "columns", "varmap", "atoms", "estimate", "distinct", "shared",
+    )
+
+    def __init__(self, key, columns, varmap, atoms, estimate, distinct, shared):
+        self.key = key
+        self.columns = columns
+        self.varmap = varmap
+        self.atoms = atoms
+        self.estimate = estimate
+        self.distinct = distinct
+        self.shared = shared
+
+
 class UnionPlan:
     """A shared execution plan for the union of rewritings of one result.
 
@@ -191,11 +292,14 @@ class UnionPlan:
         self,
         result: ReformulationResult,
         cost: Optional[CardinalityCostModel] = None,
+        bushy: bool = True,
     ):
         self.result = result
         self.nodes: Dict[str, PlanFragment] = {}
         self.stats = PlanStatistics()
+        self.bushy = bushy
         self._cost = cost
+        self._relations_cache: Dict[str, FrozenSet[str]] = {}
         # _LazySeq serialises advancement under its lock, so node-table
         # mutation inside _compile_rewriting is single-threaded even when
         # several executions iterate fragments() concurrently.
@@ -250,12 +354,222 @@ class UnionPlan:
         self.stats.fragment_references += 1
         return node
 
+    def fragment_relations(self, key: str) -> FrozenSet[str]:
+        """The base relations fragment ``key`` reads (transitively).
+
+        This is the fragment's invalidation footprint: its cached table is
+        stale exactly when one of these relations' data versions moved.
+        """
+        cached = self._relations_cache.get(key)
+        if cached is None:
+            node = self.nodes[key]
+            if isinstance(node, ScanFragment):
+                cached = frozenset((node.relation,))
+            else:
+                cached = self.fragment_relations(node.left_key) | (
+                    self.fragment_relations(node.right_key)
+                )
+            self._relations_cache[key] = cached
+        return cached
+
     def _compile_rewriting(self, rewriting: ConjunctiveQuery) -> RewritingPlan:
-        remaining = list(enumerate(rewriting.relational_body()))
-        if not remaining:
+        atoms = rewriting.relational_body()
+        if not atoms:
             raise EvaluationError(
                 "cannot compile a rewriting with no relational atoms"
             )
+        if self.bushy:
+            root = self._compile_bushy(atoms)
+            return self._finish_rewriting(rewriting, root.key, root.varmap)
+        return self._compile_left_deep(rewriting)
+
+    # -- bushy compilation -------------------------------------------------
+
+    def _leaf_group(self, atom: Atom) -> _Group:
+        """A single-atom group over the (hash-consed) scan fragment."""
+        key, varmap = _render_atom(atom, {})
+        shared = key in self.nodes
+        node = self._scan_fragment(atom)
+        estimate = 0.0
+        distinct: Dict[Variable, float] = {}
+        if self._cost is not None:
+            estimate = float(self._cost.atom_estimate(atom))
+            first_position: Dict[Variable, int] = {}
+            for position, arg in enumerate(atom.args):
+                if is_variable(arg) and arg not in first_position:
+                    first_position[arg] = position
+            for variable, position in first_position.items():
+                distinct[variable] = min(
+                    float(self._cost.column_distinct(atom.predicate, position)),
+                    max(estimate, 1.0),
+                )
+        return _Group(
+            key=node.key,
+            columns=node.columns,
+            varmap=varmap,
+            atoms=(atom,),
+            estimate=estimate,
+            distinct=distinct,
+            shared=shared,
+        )
+
+    def _join_estimate(self, left: _Group, right: _Group) -> float:
+        """Estimated output rows of joining two groups (0 without a model)."""
+        if self._cost is None:
+            return 0.0
+        estimate = max(left.estimate, 1.0) * max(right.estimate, 1.0)
+        for variable in left.varmap.keys() & right.varmap.keys():
+            estimate /= max(
+                left.distinct.get(variable, 1.0),
+                right.distinct.get(variable, 1.0),
+                1.0,
+            )
+        return estimate
+
+    def _merge_groups(
+        self,
+        left: _Group,
+        right: _Group,
+        key: str,
+        namespace: Dict[Variable, str],
+    ) -> _Group:
+        """Commit the join of two groups as a (hash-consed) fragment node."""
+        columns = tuple(f"_f{i}" for i in range(len(namespace)))
+        node = self.nodes.get(key)
+        shared = node is not None
+        if node is None:
+            node = JoinFragment(
+                key=key,
+                left_key=left.key,
+                right_key=right.key,
+                left_rename=tuple(
+                    sorted((left.varmap[v], namespace[v]) for v in left.varmap)
+                ),
+                right_rename=tuple(
+                    sorted((right.varmap[v], namespace[v]) for v in right.varmap)
+                ),
+                columns=columns,
+            )
+            self.nodes[key] = node
+            self.stats.unique_fragments += 1
+        self.stats.fragment_references += 1
+        estimate = self._join_estimate(left, right)
+        distinct: Dict[Variable, float] = {}
+        if self._cost is not None:
+            for variable in namespace:
+                candidates = [
+                    group.distinct[variable]
+                    for group in (left, right)
+                    if variable in group.distinct
+                ]
+                distinct[variable] = min(min(candidates), max(estimate, 1.0))
+        return _Group(
+            key=key,
+            columns=node.columns,
+            varmap=dict(namespace),
+            atoms=left.atoms + right.atoms,
+            estimate=estimate,
+            distinct=distinct,
+            shared=shared,
+        )
+
+    def _compile_bushy(self, atoms: Sequence[Atom]) -> _Group:
+        """Fold a rewriting's atoms into a bushy tree of shared fragments.
+
+        Greedy-operator-ordering over groups: repeatedly merge the pair of
+        connected groups (falling back to a cross product only when
+        nothing is connected) preferring, in order: a pair whose merged
+        canonical key already exists in the node table (its table will
+        come from the memo or the cross-call cache); a pair of two
+        *shared* groups — fragments other rewritings already referenced,
+        so the merge is likely to recur across the union; then the
+        smallest estimated join output.  The first rewriting merges in
+        pure cost order; later rewritings snap to the shared groups it
+        (and the cost ties) established, which is what turns shared
+        sub-conjunctions of *any* shape into shared fragments.
+        """
+        groups = [self._leaf_group(atom) for atom in atoms]
+        # Pair previews survive across merge rounds, so each surviving
+        # pair is canonicalised once per rewriting, not once per round.
+        # Keyed by group identity (not fragment key — two groups may share
+        # a key yet bind different rewriting variables); `created` pins
+        # every group so ids stay unique for the compile's duration.
+        previews: Dict[Tuple[int, int], Tuple[str, Dict[Variable, str]]] = {}
+        created = list(groups)
+
+        def preview(left: _Group, right: _Group):
+            pair_key = (id(left), id(right))
+            cached = previews.get(pair_key)
+            if cached is None:
+                parts, namespace = _canonical_parts(left.atoms + right.atoms, {})
+                cached = previews[pair_key] = (_conjunction_key(parts), namespace)
+            return cached
+
+        while len(groups) > 1:
+            connected = [
+                (i, j)
+                for i in range(len(groups))
+                for j in range(i + 1, len(groups))
+                if groups[i].varmap.keys() & groups[j].varmap.keys()
+            ]
+            candidates = connected or [
+                (i, j)
+                for i in range(len(groups))
+                for j in range(i + 1, len(groups))
+            ]
+
+            def score(pair: Tuple[int, int]):
+                i, j = pair
+                key, _ = preview(groups[i], groups[j])
+                exists = 0 if key in self.nodes else 1
+                both_shared = 0 if groups[i].shared and groups[j].shared else 1
+                return (
+                    exists,
+                    both_shared,
+                    self._join_estimate(groups[i], groups[j]),
+                    key,
+                    pair,
+                )
+
+            i, j = min(candidates, key=score)
+            merged = self._merge_groups(
+                groups[i], groups[j], *preview(groups[i], groups[j])
+            )
+            created.append(merged)
+            groups = [g for k, g in enumerate(groups) if k not in (i, j)]
+            groups.append(merged)
+        return groups[0]
+
+    def _finish_rewriting(
+        self,
+        rewriting: ConjunctiveQuery,
+        root_key: str,
+        canonical: Dict[Variable, str],
+    ) -> RewritingPlan:
+        """Wrap a compiled root fragment in the per-rewriting plan."""
+
+        def operand(term) -> Operand:
+            if is_variable(term):
+                return ("col", canonical[term])
+            return ("const", term.value)
+
+        comparisons = tuple(
+            (operand(comp.left), comp.op, operand(comp.right))
+            for comp in rewriting.comparison_body()
+        )
+        head = tuple(operand(term) for term in rewriting.head.args)
+        self.stats.rewritings += 1
+        return RewritingPlan(
+            rewriting=rewriting,
+            root_key=root_key,
+            comparisons=comparisons,
+            head=head,
+        )
+
+    # -- left-deep compilation (the PR 3 shape, kept for comparison) --------
+
+    def _compile_left_deep(self, rewriting: ConjunctiveQuery) -> RewritingPlan:
+        remaining = list(enumerate(rewriting.relational_body()))
         # Canonical names in the rewriting's prefix namespace, assigned at
         # first occurrence along the chosen atom order.  Because first
         # occurrences over a prefix do not change when the prefix grows,
@@ -322,23 +636,7 @@ class UnionPlan:
             root_key = key
             prefix_columns = node.columns
 
-        def operand(term) -> Operand:
-            if is_variable(term):
-                return ("col", canonical[term])
-            return ("const", term.value)
-
-        comparisons = tuple(
-            (operand(comp.left), comp.op, operand(comp.right))
-            for comp in rewriting.comparison_body()
-        )
-        head = tuple(operand(term) for term in rewriting.head.args)
-        self.stats.rewritings += 1
-        return RewritingPlan(
-            rewriting=rewriting,
-            root_key=root_key,
-            comparisons=comparisons,
-            head=head,
-        )
+        return self._finish_rewriting(rewriting, root_key, canonical)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.stats
@@ -352,17 +650,20 @@ def compile_reformulation(
     result: ReformulationResult,
     data: Optional[FactsLike] = None,
     cost: Optional[CardinalityCostModel] = None,
+    bushy: bool = True,
 ) -> UnionPlan:
     """Compile ``result`` into a (lazily populated) shared union plan.
 
     ``data`` (or a prebuilt ``cost`` model) steers the cost-based join
     order; without either the canonical atom order is used.  The plan stays
     correct if the data later changes — only join-order quality is tied to
-    the cardinalities seen at compile time.
+    the statistics seen at compile time.  ``bushy=False`` restricts
+    sharing to left-deep cost-order prefixes (the PR 3 shape, kept for
+    comparison benchmarks).
     """
     if cost is None and data is not None:
         cost = CardinalityCostModel(data)
-    return UnionPlan(result, cost)
+    return UnionPlan(result, cost, bushy=bushy)
 
 
 _ENSURE_LOCK = threading.Lock()
@@ -383,12 +684,14 @@ def ensure_plan(
         with _ENSURE_LOCK:
             plan = result._shared_plan
             if plan is None:
-                # Snapshot the cost model: the plan outlives this call, and
-                # it must not pin the data source (removed peers' instances,
-                # one-off overrides) in memory for the cache entry's
-                # lifetime.
+                # Pinless cost model: the plan outlives this call, and it
+                # must neither pin the data source (removed peers'
+                # instances, one-off overrides) in memory for the cache
+                # entry's lifetime nor pay an eager full-relation scan —
+                # stats are read lazily through a weak reference while the
+                # source lives.
                 cost = (
-                    CardinalityCostModel.snapshot(data) if data is not None else None
+                    CardinalityCostModel.pinless(data) if data is not None else None
                 )
                 plan = UnionPlan(result, cost)
                 result._shared_plan = plan
@@ -466,24 +769,59 @@ def _scan_table(node: ScanFragment, source) -> Table:
     return Table(node.columns, rows)
 
 
-def _fragment_table(plan: UnionPlan, key: str, source, memo: _OnceMap) -> Table:
+def _worth_caching(node: PlanFragment) -> bool:
+    """Is a fragment's table worth offering to the cross-call cache?
+
+    Joins always are.  Unrestricted scans are not: their "table" is a bare
+    copy of rows the base index already serves in O(1), so materialising
+    them only burns budget.  Selective scans (constants or repeated-
+    variable equalities) do real filtering work and qualify.
+    """
+    if isinstance(node, JoinFragment):
+        return True
+    return bool(node.equal_positions) or any(
+        value is not WILDCARD for value in node.pattern
+    )
+
+
+def _fragment_table(
+    plan: UnionPlan,
+    key: str,
+    source,
+    memo: _OnceMap,
+    cache: Optional[FragmentCache] = None,
+) -> Table:
     node = plan.nodes[key]
 
-    def compute() -> Table:
+    def build() -> Table:
         if isinstance(node, ScanFragment):
             return _scan_table(node, source)
-        left = _fragment_table(plan, node.left_key, source, memo)
-        right = _fragment_table(plan, node.right_key, source, memo)
+        left = _fragment_table(plan, node.left_key, source, memo, cache)
+        right = _fragment_table(plan, node.right_key, source, memo, cache)
+        if node.left_rename:
+            left = left.rename(dict(node.left_rename))
         joined = left.natural_join(right.rename(dict(node.right_rename)))
         return joined.project(node.columns)
+
+    def compute() -> Table:
+        if cache is not None and _worth_caching(node):
+            relations = plan.fragment_relations(key)
+            token = data_version_token(source, relations)
+            if token is not None:
+                return cache.get_or_compute(key, token, relations, build)
+        return build()
 
     return memo.get_or_compute(key, compute)
 
 
 def _evaluate_rewriting_plan(
-    plan: UnionPlan, rewriting_plan: RewritingPlan, source, memo: _OnceMap
+    plan: UnionPlan,
+    rewriting_plan: RewritingPlan,
+    source,
+    memo: _OnceMap,
+    cache: Optional[FragmentCache] = None,
 ) -> Set[Row]:
-    table = _fragment_table(plan, rewriting_plan.root_key, source, memo)
+    table = _fragment_table(plan, rewriting_plan.root_key, source, memo, cache)
     index = {column: i for i, column in enumerate(table.columns)}
 
     def value(row: Row, operand: Operand) -> object:
@@ -505,24 +843,18 @@ def shared_workers_from_env() -> int:
 
     ``0`` (the default) means sequential in-thread execution; a
     non-integer or negative value raises :class:`EvaluationError` at call
-    time (fail fast, like an unknown engine name).
+    time (fail fast, like an unknown engine name — see
+    :func:`repro.pdms.materialization.int_from_env`, which gives every
+    ``REPRO_*`` integer knob the same treatment).
     """
-    raw = os.environ.get("REPRO_SHARED_WORKERS", "0")
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise EvaluationError(
-            f"REPRO_SHARED_WORKERS={raw!r} is not an integer"
-        ) from None
-    if workers < 0:
-        raise EvaluationError(f"REPRO_SHARED_WORKERS={raw!r} must be >= 0")
-    return workers
+    return int_from_env("REPRO_SHARED_WORKERS", 0)
 
 
 def stream_plan_answers(
     plan: UnionPlan,
     data: FactsLike,
     max_workers: Optional[int] = None,
+    cache: Optional[FragmentCache] = None,
 ) -> Iterator[Row]:
     """Yield distinct answer rows of the union plan as fragments evaluate.
 
@@ -533,13 +865,21 @@ def stream_plan_answers(
     first-k contract: abandoning the iterator cancels unstarted work).
     Answers are identical either way — only completion order differs, and
     the dedup set makes the yielded row set equal.
+
+    ``cache`` (optional) is a cross-call
+    :class:`~repro.pdms.materialization.FragmentCache`: fragment tables
+    are then served from (and offered to) it under their data-version
+    tokens, on top of the per-call memo.  Sources without per-relation
+    data versions bypass the cache automatically.
     """
     source = ensure_indexed(as_fact_source(data))
     memo = _OnceMap()
     seen: Set[Row] = set()
     if not max_workers or max_workers <= 1:
         for rewriting_plan in plan.fragments():
-            for row in _evaluate_rewriting_plan(plan, rewriting_plan, source, memo):
+            for row in _evaluate_rewriting_plan(
+                plan, rewriting_plan, source, memo, cache
+            ):
                 if row not in seen:
                     seen.add(row)
                     yield row
@@ -564,7 +904,12 @@ def stream_plan_answers(
                     break
                 window.append(
                     executor.submit(
-                        _evaluate_rewriting_plan, plan, rewriting_plan, source, memo
+                        _evaluate_rewriting_plan,
+                        plan,
+                        rewriting_plan,
+                        source,
+                        memo,
+                        cache,
                     )
                 )
             if not window:
@@ -582,6 +927,7 @@ def evaluate_plan(
     data: FactsLike,
     limit: Optional[int] = None,
     max_workers: Optional[int] = None,
+    cache: Optional[FragmentCache] = None,
 ) -> Set[Row]:
     """Evaluate the whole union plan (or the first ``limit`` answers)."""
     if limit is not None and limit < 0:
@@ -589,7 +935,7 @@ def evaluate_plan(
     answers: Set[Row] = set()
     if limit == 0:
         return answers
-    for row in stream_plan_answers(plan, data, max_workers=max_workers):
+    for row in stream_plan_answers(plan, data, max_workers=max_workers, cache=cache):
         answers.add(row)
         if limit is not None and len(answers) >= limit:
             break

@@ -33,15 +33,25 @@ that scenario cheap to serve repeatedly:
   plans for the ``"shared"`` engine are cached alongside reformulations
   under the same invalidation signals.
 
+* **Cross-call fragment materialization** — a
+  :class:`~repro.pdms.materialization.FragmentCache` (enabled by default,
+  sized by ``REPRO_FRAGMENT_CACHE_BYTES``) keeps fragment tables across
+  calls under data-version tokens: repeated traffic over unchanged peer
+  data skips the joins entirely, a write to one predicate invalidates
+  only the fragments that read it, and :meth:`remove_peer` eagerly
+  evicts the departed peer's dependents.  ``stats.fragments`` reports
+  the hit/miss/admission/eviction counters.
+
 This module is the substrate later scaling work (sharding, async,
 multi-backend execution) plugs into; see ``docs/pdms.md`` for the design
-notes and invalidation rules.
+notes and invalidation rules, and ``docs/materialization.md`` for the
+fragment-cache design.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..database.instance import Instance
@@ -62,6 +72,11 @@ from .execution import (
     stream_answers,
 )
 from .mappings import StorageDescription
+from .materialization import (
+    FragmentCache,
+    FragmentCacheStats,
+    fragment_cache_from_env,
+)
 from .planning import UnionPlan, ensure_plan
 from .reformulation import (
     CanonicalQuery,
@@ -74,7 +89,14 @@ from .system import PDMS, AnyPeerMapping, CatalogueChange
 
 @dataclass
 class ServiceStats:
-    """Counters describing how the cache behaved so far."""
+    """Counters describing how the caches behaved so far.
+
+    The flat counters describe the reformulation/plan caches; the
+    ``fragments`` member carries the cross-call
+    :class:`~repro.pdms.materialization.FragmentCache` counters (shared
+    with the live cache object, so it is always current; all zeros when
+    fragment caching is disabled).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -84,6 +106,8 @@ class ServiceStats:
     plans_compiled: int = 0
     #: Plans dropped because their reformulation entry was dropped.
     plan_invalidations: int = 0
+    #: Fragment-cache counters (hits/misses/admissions/evictions/…).
+    fragments: FragmentCacheStats = field(default_factory=FragmentCacheStats)
 
     @property
     def lookups(self) -> int:
@@ -117,6 +141,17 @@ class QueryService:
         :meth:`remove_peer` also drops the peer's data).
     max_entries:
         Cache capacity; least-recently-used entries are evicted beyond it.
+    fragment_cache:
+        A prebuilt :class:`~repro.pdms.materialization.FragmentCache` to
+        serve cross-call fragment materialization from (e.g. one shared
+        by several services over the same data).  An externally supplied
+        cache is never cleared or eagerly invalidated by this service
+        (other services may hold warm entries in it); version tokens
+        alone keep it correct.
+    fragment_cache_bytes:
+        Byte budget for a service-owned fragment cache; ``0`` disables
+        cross-call fragment caching.  When neither parameter is given the
+        budget comes from ``REPRO_FRAGMENT_CACHE_BYTES`` (64 MiB default).
     """
 
     def __init__(
@@ -126,9 +161,26 @@ class QueryService:
         engine: Optional[str] = None,
         data: Union[FactsLike, Mapping[str, Instance], None] = None,
         max_entries: int = 1024,
+        fragment_cache: Optional[FragmentCache] = None,
+        fragment_cache_bytes: Optional[int] = None,
     ):
         try:
             engine = validate_engine(engine if engine is not None else default_engine())
+            self._owns_fragment_cache = fragment_cache is None
+            if fragment_cache is not None:
+                self._fragments: Optional[FragmentCache] = fragment_cache
+            elif fragment_cache_bytes is not None:
+                if fragment_cache_bytes < 0:
+                    raise EvaluationError(
+                        "fragment_cache_bytes must be >= 0 (0 disables caching)"
+                    )
+                self._fragments = (
+                    FragmentCache(max_bytes=fragment_cache_bytes)
+                    if fragment_cache_bytes > 0
+                    else None
+                )
+            else:
+                self._fragments = fragment_cache_from_env()
         except EvaluationError as exc:
             # Construction-time mistakes are configuration errors.
             raise PDMSConfigurationError(str(exc)) from exc
@@ -144,6 +196,10 @@ class QueryService:
         self._plans: Dict[str, UnionPlan] = {}
         self._seen_version = self._pdms.catalogue_version
         self._stats = ServiceStats()
+        if self._fragments is not None:
+            # Alias the live cache's counters so `stats.fragments` is
+            # always current without copying.
+            self._stats.fragments = self._fragments.stats
         self._peer_data: Dict[str, Instance] = {}
         self._flat_data: Optional[FactsLike] = None
         self._combined: Optional[FactsLike] = None
@@ -177,6 +233,11 @@ class QueryService:
     def plan_cache_size(self) -> int:
         """Number of currently cached compiled union plans."""
         return len(self._plans)
+
+    @property
+    def fragment_cache(self) -> Optional[FragmentCache]:
+        """The cross-call fragment cache (``None`` when disabled)."""
+        return self._fragments
 
     def cached_signatures(self) -> Tuple[str, ...]:
         """Signatures currently in the cache (LRU order, oldest first)."""
@@ -243,10 +304,22 @@ class QueryService:
         return added
 
     def remove_peer(self, peer_name: str) -> CatalogueChange:
-        """Remove a peer, its descriptions, and its per-peer data."""
+        """Remove a peer, its descriptions, and its per-peer data.
+
+        Fragments whose tables read the departed peer's stored relations
+        are evicted eagerly — the version tokens would stop them being
+        *served* anyway (the owner set changed), but reclaiming the bytes
+        now keeps the budget for fragments that can still hit.
+        """
         change = self._pdms.remove_peer(peer_name)
-        if self._peer_data.pop(peer_name, None) is not None:
+        departed = self._peer_data.pop(peer_name, None)
+        if departed is not None:
             self._combined = None
+            if self._fragments is not None and self._owns_fragment_cache:
+                # A shared external cache may hold other services' valid
+                # entries for identically named relations; leave those to
+                # version-token staleness and the LRU.
+                self._fragments.invalidate_relations(departed.relations())
         self._sync()
         return change
 
@@ -277,9 +350,21 @@ class QueryService:
                 self._stats.plan_invalidations += len(self._plans)
                 self._cache.clear()
                 self._plans.clear()
+                if self._fragments is not None and self._owns_fragment_cache:
+                    self._fragments.clear()
                 break
             if not (change.affected_predicates or change.removed_origins):
                 continue
+            if (
+                self._fragments is not None
+                and self._owns_fragment_cache
+                and change.affected_predicates
+            ):
+                # Fragment tables read *stored* relations; a catalogue
+                # change naming one (replication-style descriptions do)
+                # evicts the dependent entries.  Peer-relation predicates
+                # simply never intersect, making this a cheap no-op.
+                self._fragments.invalidate_relations(change.affected_predicates)
             stale = [
                 signature
                 for signature, result in self._cache.items()
@@ -341,9 +426,16 @@ class QueryService:
         return plan
 
     def clear_cache(self) -> None:
-        """Drop every cached reformulation and plan (counters are preserved)."""
+        """Drop every cached reformulation, plan, and fragment table
+        (counters are preserved).
+
+        An externally supplied fragment cache is left alone — other
+        services may be serving warm entries from it; clear it directly
+        if that is really wanted."""
         self._cache.clear()
         self._plans.clear()
+        if self._fragments is not None and self._owns_fragment_cache:
+            self._fragments.clear()
 
     # -- answering -------------------------------------------------------------------
 
@@ -362,9 +454,9 @@ class QueryService:
         full answer set.  Plan-consuming engines (``"shared"``) reuse the
         compiled union plan cached alongside the reformulation.
         """
-        engine, source, result, plan = self._prepare(query, engine, data)
+        engine, source, result, plan, cache = self._prepare(query, engine, data)
         return evaluate_reformulation(
-            result, source, engine=engine, limit=limit, plan=plan
+            result, source, engine=engine, limit=limit, plan=plan, cache=cache
         )
 
     def _prepare(
@@ -373,14 +465,24 @@ class QueryService:
         engine: Optional[str],
         data: Union[FactsLike, Mapping[str, Instance], None],
     ):
-        """Resolve engine/data/reformulation/plan for one answering call."""
+        """Resolve engine/data/reformulation/plan/cache for one call."""
         engine = validate_engine(engine if engine is not None else self._engine)
         source = self._data(data)
         signature, result = self._lookup(canonicalize_query(query))
         plan = None
         if getattr(get_engine(engine), "uses_plans", False):
             plan = self._plan_for(signature, result, source)
-        return engine, source, result, plan
+        # The fragment cache holds one entry per fragment key, keyed to
+        # the service's own data by version token.  A one-off data
+        # override would churn those warm entries (admit under its own
+        # tokens, evicting same-key entries), so overrides bypass the
+        # cache; the identity checks keep answer_batch's pre-resolved
+        # shared source on the cached path.
+        own_data = (
+            data is None or source is self._flat_data or source is self._combined
+        )
+        cache = self._fragments if own_data else None
+        return engine, source, result, plan, cache
 
     def stream(
         self,
@@ -396,8 +498,8 @@ class QueryService:
         being consumed.  Callers who need post-churn answers should call
         :meth:`answer` (or :meth:`stream` again) after the change.
         """
-        engine, source, result, plan = self._prepare(query, engine, data)
-        return stream_answers(result, source, engine=engine, plan=plan)
+        engine, source, result, plan, cache = self._prepare(query, engine, data)
+        return stream_answers(result, source, engine=engine, plan=plan, cache=cache)
 
     def answer_batch(
         self,

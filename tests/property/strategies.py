@@ -178,6 +178,25 @@ def churn_specs(draw, max_satellites=2):
 
 
 @st.composite
+def data_mutation_specs(draw, max_ops=4):
+    """Per-peer data writes interleaved with the query stream.
+
+    Each op targets one of the spec'd bottom peers (by index, wrapped) and
+    either inserts a row into its stored relation or deletes one (the
+    delete names a candidate row; appliers skip it when absent, so delete
+    ops stay meaningful on any generated instance).
+    """
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_ops))):
+        ops.append({
+            "kind": draw(st.sampled_from(["insert", "delete"])),
+            "bottom_index": draw(st.integers(min_value=0, max_value=3)),
+            "row": draw(st.tuples(st.integers(0, 3), st.integers(0, 3))),
+        })
+    return ops
+
+
+@st.composite
 def lav_views(draw, max_views=3):
     """A set of LAV views over the fixed vocabulary, with distinct names."""
     from repro.integration.views import View, ViewSet
