@@ -54,6 +54,11 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("cases.bushy_sharing.bushy_shared_subgoal_ratio", "exact"),
         ("cases.bushy_sharing.bushy_speedup", "timing"),
     ),
+    "BENCH_distributed.json": (
+        ("cases.scatter_gather.speedup_vs_serial", "timing"),
+        ("cases.transport_overhead.loopback_relative_throughput", "timing"),
+        ("cases.concurrent_clients.concurrency_speedup", "timing"),
+    ),
     # BENCH_eval.json records absolute per-case timings only (no
     # machine-portable ratios), so it has nothing to guard here.
 }

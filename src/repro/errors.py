@@ -71,5 +71,20 @@ class EvaluationError(ReproError):
     """Evaluation of a query or datalog program over an instance failed."""
 
 
+class TransportError(ReproError):
+    """A peer-boundary RPC failed (peer down, timed out, or injected fault).
+
+    Distinct from :class:`EvaluationError`: a transport fault does not mean
+    the query is wrong, only that a peer could not be reached.  The
+    distributed engine treats it as *missing data* — it degrades to a
+    best-effort (sound-subset) answer and clears the ``completeness`` flag
+    instead of failing the whole query.
+    """
+
+    def __init__(self, message: str, peer: str | None = None):
+        super().__init__(message)
+        self.peer = peer
+
+
 class UnsatisfiableConstraintError(ReproError):
     """A constraint conjunction was required to be satisfiable but is not."""

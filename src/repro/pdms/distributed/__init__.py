@@ -1,0 +1,57 @@
+"""Distributed peer runtime: transports, remote peer sources, clustering.
+
+The paper's PDMS is a *network of autonomous peers*, but PRs 1–4 kept every
+peer's :class:`~repro.database.instance.Instance` in the caller's process
+and every answer path synchronous.  This package makes the peer boundary
+real:
+
+* :mod:`~repro.pdms.distributed.transport` — the wire contract
+  (:class:`Transport`) and the in-process :class:`LoopbackTransport`, whose
+  latency/failure injection hooks double as a chaos harness;
+* :mod:`~repro.pdms.distributed.process` — :class:`ProcessTransport`, which
+  hosts each peer's instance in a worker *process* (``multiprocessing``)
+  and serves batched pattern-level scan RPCs, sidestepping the GIL for
+  remote work;
+* :mod:`~repro.pdms.distributed.source` — :class:`RemotePeerFactSource`,
+  implementing the :class:`~repro.datalog.indexing.IndexedFactSource`
+  protocol over any transport so planning and the fragment cache work
+  unchanged, with per-call scan memoization and data-version tokens
+  fetched over the wire;
+* :mod:`~repro.pdms.distributed.engine` — the ``"distributed"`` execution
+  engine: scatter-gathers independent fragment scans across peers
+  concurrently and degrades to best-effort answers with an explicit
+  ``completeness`` flag when peers fail;
+* :mod:`~repro.pdms.distributed.cluster` — :class:`ServiceCluster`, a
+  concurrency-safe front end over :class:`~repro.pdms.service.QueryService`
+  with bounded admission (``REPRO_MAX_INFLIGHT``).
+
+See ``docs/distributed.md`` for the wire contract, failure semantics, and
+the consolidated table of every ``REPRO_*`` environment knob.
+"""
+
+from .transport import (
+    LoopbackTransport,
+    Transport,
+    decode_pattern,
+    encode_pattern,
+)
+from .process import ProcessTransport
+from .source import RemotePeerFactSource, ScanFailure
+from .engine import DistributedAnswer, DistributedEngine, evaluate_distributed
+from .cluster import ClusterAnswer, ServiceCluster, max_inflight_from_env
+
+__all__ = [
+    "ClusterAnswer",
+    "DistributedAnswer",
+    "DistributedEngine",
+    "LoopbackTransport",
+    "ProcessTransport",
+    "RemotePeerFactSource",
+    "ScanFailure",
+    "ServiceCluster",
+    "Transport",
+    "decode_pattern",
+    "encode_pattern",
+    "evaluate_distributed",
+    "max_inflight_from_env",
+]

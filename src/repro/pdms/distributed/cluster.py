@@ -1,0 +1,281 @@
+"""A concurrency-safe, admission-bounded front end over one QueryService.
+
+:class:`~repro.pdms.service.QueryService` is (since this subsystem) safe
+under concurrent callers — its reformulation/plan caches and counters are
+lock-guarded — but a service alone neither bounds how much work enters at
+once nor reports per-answer completeness.  :class:`ServiceCluster` adds
+both:
+
+* **Bounded admission** — at most ``max_inflight`` answers execute
+  concurrently (``REPRO_MAX_INFLIGHT``, 0 = unbounded); excess callers
+  queue on a semaphore instead of piling onto the peers.  ``peak_inflight``
+  records the high-water mark actually reached.
+* **Completeness accounting** — when the cluster fronts a transport, each
+  :meth:`answer` snapshots the
+  :class:`~repro.pdms.distributed.source.RemotePeerFactSource` failure
+  window around the call and returns a :class:`ClusterAnswer` whose
+  ``complete`` flag says whether any peer fault touched the window
+  (conservative under concurrency: a fault observed by an overlapping
+  call also clears the flag).
+* **Fan-in** — :meth:`answer_many` evaluates a query mix on a client-side
+  thread pool; with worker-process peers the scatter-gathered scans of
+  different queries overlap on the wire.
+
+The peer set is fixed by the transport at construction; catalogue churn
+(mappings joining or leaving) still flows through the wrapped service,
+whose provenance invalidation is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ...datalog.queries import ConjunctiveQuery
+from ...errors import EvaluationError, PDMSConfigurationError
+from ..optimizations import ReformulationConfig
+from ..service import QueryService, ServiceStats
+from ..system import PDMS
+from ..materialization import int_from_env
+from .engine import DistributedAnswer
+from .source import RemotePeerFactSource
+from .transport import Transport
+
+
+def max_inflight_from_env() -> int:
+    """Admission bound from ``REPRO_MAX_INFLIGHT`` (0 = unbounded).
+
+    Malformed values fail fast, like every other ``REPRO_*`` integer knob
+    (see :func:`repro.pdms.materialization.int_from_env`).
+    """
+    return int_from_env("REPRO_MAX_INFLIGHT", 0)
+
+
+#: One answered query with its completeness verdict — the same envelope
+#: :func:`~repro.pdms.distributed.engine.evaluate_distributed` returns,
+#: shared so enrichments (and ``isinstance`` checks) apply to both paths.
+ClusterAnswer = DistributedAnswer
+
+
+class ServiceCluster:
+    """Serve one PDMS to concurrent callers over a peer transport.
+
+    Parameters
+    ----------
+    pdms:
+        The system to serve (created empty when omitted).
+    transport:
+        The peer boundary holding the stored-relation data; a
+        :class:`~repro.pdms.distributed.source.RemotePeerFactSource` is
+        built over it and installed as the service's data source, so the
+        ``"distributed"`` engine scatter-gathers straight over it and the
+        fragment cache keys on wire-fetched version tokens.
+    service:
+        Alternatively, wrap a prebuilt :class:`QueryService` (mutually
+        exclusive with ``pdms``/``transport``).  Completeness reporting
+        needs the service's data to be a ``RemotePeerFactSource``;
+        otherwise every answer reports ``complete=True``.
+    config, fragment_cache_bytes:
+        Forwarded to the constructed :class:`QueryService`.
+    engine:
+        Execution engine for the constructed service (default
+        ``"distributed"``).
+    max_inflight:
+        Concurrent-answer bound; default ``REPRO_MAX_INFLIGHT`` (0 =
+        unbounded).
+    """
+
+    def __init__(
+        self,
+        pdms: Optional[PDMS] = None,
+        transport: Optional[Transport] = None,
+        service: Optional[QueryService] = None,
+        config: Optional[ReformulationConfig] = None,
+        engine: str = "distributed",
+        max_inflight: Optional[int] = None,
+        fragment_cache_bytes: Optional[int] = None,
+    ):
+        if service is not None:
+            if pdms is not None or transport is not None:
+                raise PDMSConfigurationError(
+                    "pass either a prebuilt service or pdms/transport, not both"
+                )
+            self._service = service
+            self._transport = None
+            data = service._flat_data
+            self._source = data if isinstance(data, RemotePeerFactSource) else None
+        else:
+            if transport is None:
+                raise PDMSConfigurationError(
+                    "ServiceCluster needs a transport (or a prebuilt service)"
+                )
+            self._transport = transport
+            self._source = RemotePeerFactSource(transport)
+            self._service = QueryService(
+                pdms,
+                config=config,
+                engine=engine,
+                data=self._source,
+                fragment_cache_bytes=fragment_cache_bytes,
+            )
+        if max_inflight is not None:
+            bound = max_inflight
+        else:
+            try:
+                bound = max_inflight_from_env()
+            except EvaluationError as exc:
+                # Construction-time mistakes are configuration errors,
+                # exactly as in QueryService.
+                raise PDMSConfigurationError(str(exc)) from exc
+        if bound < 0:
+            raise PDMSConfigurationError("max_inflight must be >= 0 (0 = unbounded)")
+        self._max_inflight = bound
+        self._admission = threading.Semaphore(bound) if bound else None
+        self._gauge_lock = threading.Lock()
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._served = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        """The wrapped (thread-safe) query service."""
+        return self._service
+
+    @property
+    def source(self) -> Optional[RemotePeerFactSource]:
+        """The remote source answers are served from (``None`` if wrapped)."""
+        return self._source
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        """The transport the cluster fronts, when it built its own source."""
+        return self._transport
+
+    @property
+    def stats(self) -> ServiceStats:
+        """The wrapped service's cache counters."""
+        return self._service.stats
+
+    @property
+    def max_inflight(self) -> int:
+        """The admission bound in force (0 = unbounded)."""
+        return self._max_inflight
+
+    @property
+    def peak_inflight(self) -> int:
+        """Highest number of concurrently executing answers seen."""
+        with self._gauge_lock:
+            return self._peak_inflight
+
+    @property
+    def served(self) -> int:
+        """Total answers completed."""
+        with self._gauge_lock:
+            return self._served
+
+    def describe(self) -> Dict[str, object]:
+        """A flat status snapshot (peers, traffic, admission, caches)."""
+        peers: Dict[str, int] = {}
+        transport = self._transport
+        if transport is not None:
+            for peer in transport.peers():
+                counter = getattr(transport, "scan_count", None)
+                peers[peer] = counter(peer) if callable(counter) else 0
+        with self._gauge_lock:
+            snapshot: Dict[str, object] = {
+                "served": self._served,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak_inflight,
+                "max_inflight": self._max_inflight,
+            }
+        snapshot["peer_scan_counts"] = peers
+        snapshot["service"] = self._service.stats.as_dict()
+        if self._source is not None:
+            snapshot["unreachable_peers"] = self._source.unreachable_peers
+            snapshot["transport_failures"] = self._source.failure_count
+        return snapshot
+
+    # -- answering ---------------------------------------------------------
+
+    def answer(
+        self, query: ConjunctiveQuery, limit: Optional[int] = None
+    ) -> ClusterAnswer:
+        """Answer one query under admission control.
+
+        Blocks while ``max_inflight`` answers are already executing.  The
+        completeness window spans this call; overlapping calls that hit a
+        fault clear the flag conservatively.
+        """
+        if self._admission is not None:
+            self._admission.acquire()
+        try:
+            with self._gauge_lock:
+                self._inflight += 1
+                self._peak_inflight = max(self._peak_inflight, self._inflight)
+            window_start = (
+                self._source.failure_count if self._source is not None else 0
+            )
+            rows = self._service.answer(query, limit=limit)
+            if self._source is None:
+                result = ClusterAnswer(frozenset(rows), True)
+            else:
+                failures = self._source.failures(window_start)
+                complete = not failures and self._source.complete
+                result = ClusterAnswer(frozenset(rows), complete, failures)
+            with self._gauge_lock:
+                # Counted here, not in the finally: a call that raised is
+                # not a served answer.
+                self._served += 1
+            return result
+        finally:
+            with self._gauge_lock:
+                self._inflight -= 1
+            if self._admission is not None:
+                self._admission.release()
+
+    def answer_many(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        limit: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> List[ClusterAnswer]:
+        """Answer a query mix concurrently; results in query order.
+
+        ``workers`` bounds the client-side pool (default: up to 8); the
+        admission semaphore still gates how many answers execute at once,
+        so a large mix queues instead of overwhelming the peers.
+        """
+        if not queries:
+            return []
+        pool_size = workers if workers is not None else min(8, len(queries))
+        if pool_size <= 1 or len(queries) == 1:
+            return [self.answer(query, limit=limit) for query in queries]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-cluster"
+        ) as pool:
+            return list(pool.map(lambda q: self.answer(q, limit=limit), queries))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the source's scatter pool and the owned transport."""
+        if self._source is not None:
+            self._source.close()
+        if self._transport is not None:
+            self._transport.close()
+
+    def __enter__(self) -> "ServiceCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceCluster({self._service!r}, served={self.served}, "
+            f"max_inflight={self._max_inflight or 'unbounded'})"
+        )

@@ -1,0 +1,196 @@
+"""The ``"distributed"`` execution engine: scatter-gather over peers.
+
+Registered in the :mod:`repro.pdms.execution` engine registry alongside
+``"backtracking"``, ``"plan"``, and ``"shared"``, so anything that selects
+an engine by name — the service layer, ``REPRO_DEFAULT_ENGINE``, the CI
+matrix — can run the peer boundary without code changes.
+
+Evaluation rides the shared union-plan IR (:mod:`repro.pdms.planning`):
+fragments are hash-consed and memoized exactly as in the ``"shared"``
+engine, and the cross-call :class:`~repro.pdms.materialization.FragmentCache`
+keys on the same wire-fetched data-version tokens.  The distributed twist
+is **where scans run**: before a rewriting is evaluated, every stored-
+relation scan under its root fragment
+(:meth:`~repro.pdms.planning.UnionPlan.scan_requests`) is prefetched in
+one scatter-gather round — batched per owning peer, the per-peer batches
+issued concurrently as futures over the transport.  With worker-process
+peers the scans execute outside the caller's GIL; evaluation then joins
+the memoized tables in-process.
+
+Data routing:
+
+* a :class:`~repro.pdms.distributed.source.RemotePeerFactSource` is used
+  as-is (after a :meth:`~repro.pdms.distributed.source.RemotePeerFactSource.refresh`
+  so the call sees current versions);
+* per-peer instances / an in-process
+  :class:`~repro.pdms.execution.PeerFactSource` are wrapped in a
+  per-call loopback-transport source, so the whole tier-1 suite exercises
+  the peer boundary when ``REPRO_DEFAULT_ENGINE=distributed``;
+* flat fact sources (no peer structure) fall back to the shared engine's
+  evaluation path unchanged.
+
+Failure semantics: a peer that times out or is injected as failed simply
+contributes no rows — under monotone conjunctive queries the result is a
+**sound subset** of the complete answer.  :func:`evaluate_distributed`
+surfaces this as a :class:`DistributedAnswer` with an explicit
+``complete`` flag and the per-scan failure records; fragments touching
+degraded relations are barred from version-keyed caches by the source
+(see :mod:`repro.pdms.distributed.source`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Set, Tuple
+
+from ...datalog.evaluation import as_fact_source
+from ...datalog.indexing import ensure_indexed
+from ...errors import EvaluationError
+from ..execution import (
+    PeerFactSource,
+    Row,
+    evaluate_reformulation,
+    federate_if_per_peer,
+    register_engine,
+)
+from ..materialization import FragmentCache
+from ..planning import (
+    UnionPlan,
+    _OnceMap,
+    _evaluate_rewriting_plan,
+    ensure_plan,
+    stream_plan_answers,
+)
+from ..reformulation import ReformulationResult
+from .source import RemotePeerFactSource, ScanFailure
+from .transport import LoopbackTransport
+
+
+@dataclass(frozen=True)
+class DistributedAnswer:
+    """A best-effort distributed answer with its completeness verdict.
+
+    ``complete`` is ``True`` only when no transport fault touched the
+    evaluation window: every peer described, every scan arrived.  When
+    ``False``, ``rows`` is still a *sound subset* of the complete answer
+    (missing peers only remove facts, and conjunctive queries are
+    monotone); ``failures`` records what was lost.
+    """
+
+    rows: frozenset
+    complete: bool
+    failures: Tuple[ScanFailure, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class DistributedEngine:
+    """Scatter-gather engine over a peer-boundary transport."""
+
+    uses_plans = True
+
+    def __init__(self, name: str = "distributed"):
+        self.name = name
+
+    def stream(
+        self,
+        result: ReformulationResult,
+        data,
+        plan: Optional[UnionPlan] = None,
+        cache: Optional[FragmentCache] = None,
+    ) -> Iterator[Row]:
+        if plan is not None and plan.result is not result:
+            raise EvaluationError(
+                "the supplied union plan was compiled for a different "
+                "reformulation result"
+            )
+        return self._generate(result, data, plan, cache)
+
+    def _generate(self, result, data, plan, cache) -> Iterator[Row]:
+        remote: Optional[RemotePeerFactSource] = None
+        owns_source = False
+        if isinstance(data, RemotePeerFactSource):
+            remote = data
+            remote.refresh()
+        elif isinstance(data, PeerFactSource):
+            # Wrap the live per-peer instances in a per-call loopback
+            # boundary: same answers, but every probe crosses the wire
+            # contract — this is what the tier-1 matrix leg exercises.
+            remote = RemotePeerFactSource(LoopbackTransport(data.instances()))
+            owns_source = True
+        source = remote if remote is not None else data
+        try:
+            if plan is None:
+                plan = ensure_plan(result, source)
+            if remote is None:
+                # No peer structure to scatter over: identical to "shared".
+                yield from stream_plan_answers(plan, source, cache=cache)
+                return
+            indexed = ensure_indexed(as_fact_source(source))
+            memo = _OnceMap()
+            seen: Set[Row] = set()
+            for rewriting_plan in plan.fragments():
+                # Scatter: every stored-relation scan under this root, one
+                # batched RPC per owning peer, concurrently.  Gathered rows
+                # land in the source's memo, so fragment evaluation below
+                # never blocks on the wire.
+                remote.prefetch(plan.scan_requests(rewriting_plan.root_key))
+                for row in _evaluate_rewriting_plan(
+                    plan, rewriting_plan, indexed, memo, cache
+                ):
+                    if row not in seen:
+                        seen.add(row)
+                        yield row
+        finally:
+            if owns_source and remote is not None:
+                remote.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistributedEngine({self.name!r})"
+
+
+def evaluate_distributed(
+    result: ReformulationResult,
+    data,
+    limit: Optional[int] = None,
+    cache: Optional[FragmentCache] = None,
+) -> DistributedAnswer:
+    """Evaluate ``result`` over peers, reporting completeness explicitly.
+
+    ``data`` is a :class:`~repro.pdms.distributed.source.RemotePeerFactSource`
+    (typically over a :class:`~repro.pdms.distributed.process.ProcessTransport`),
+    or per-peer instances / a :class:`~repro.pdms.execution.PeerFactSource`,
+    which are wrapped in a loopback boundary for the call.  The failure
+    window is the call itself: faults recorded by other threads sharing
+    the source during the call conservatively clear ``complete``.
+    """
+    source = data
+    owns_source = False
+    if not isinstance(source, RemotePeerFactSource):
+        federated = federate_if_per_peer(data)
+        if not isinstance(federated, PeerFactSource):
+            raise EvaluationError(
+                "evaluate_distributed needs per-peer data or a "
+                "RemotePeerFactSource; flat fact sources have no peer "
+                "boundary to report completeness for"
+            )
+        source = RemotePeerFactSource(LoopbackTransport(federated.instances()))
+        owns_source = True
+    window_start = source.failure_count
+    try:
+        rows = evaluate_reformulation(
+            result, source, engine="distributed", limit=limit, cache=cache
+        )
+    finally:
+        if owns_source:
+            source.close()
+    failures = source.failures(window_start)
+    complete = not failures and source.complete
+    return DistributedAnswer(frozenset(rows), complete, failures)
+
+
+register_engine(DistributedEngine())

@@ -1,0 +1,307 @@
+"""One worker process per peer: the out-of-process transport backend.
+
+:class:`ProcessTransport` implements the same wire contract as
+:class:`~repro.pdms.distributed.transport.LoopbackTransport`, but each
+peer's :class:`~repro.database.instance.Instance` lives in its own worker
+process (``multiprocessing``), rebuilt there from the shipped rows and
+serving batched pattern-level scan RPCs over a duplex pipe.  Scans
+therefore run on the worker's CPU — concurrent scatter-gather across
+peers sidesteps the GIL, which is the whole point of the backend.
+
+Protocol (one request/response pair per RPC, length-prefixed by the pipe):
+
+* request: ``(op, payload)`` where ``op`` is ``"describe"``,
+  ``"scan_batch"``, ``"insert"``, ``"ping"``, ``"sleep"`` (chaos aid for
+  timeout tests), or ``"stop"``;
+* response: ``("ok", value)``, ``("data_error", (kind, message))``
+  (malformed probe or invalid insert — re-raised client-side as the
+  same ``ValueError`` / :class:`~repro.errors.InstanceError` a local
+  instance would raise, so the two backends stay interchangeable), or
+  ``("error", message)`` (unexpected worker fault —
+  :class:`~repro.errors.TransportError`).
+
+Failure semantics: an RPC that exceeds ``REPRO_TRANSPORT_TIMEOUT_MS``
+(default 10 s) or hits a broken pipe **circuit-breaks the peer** — the
+connection is closed and every later RPC to it fails fast with
+:class:`~repro.errors.TransportError`.  A response that straggles in
+after a timeout could otherwise desynchronise the request/response
+pairing, so the breaker is one-way; build a fresh transport to recover.
+
+Version tokens shipped by a worker embed the worker-side instance id,
+which is only unique *within* that process.  The client therefore salts
+every token with a transport-unique nonce, keeping tokens globally
+unambiguous for version-keyed caches shared across transports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ...database.instance import Instance
+from ...errors import InstanceError, TransportError
+from ..materialization import int_from_env
+from .transport import (
+    RelationInfo,
+    Row,
+    ScanRequest,
+    TransportBase,
+    decode_pattern,
+    describe_instance,
+)
+
+#: Process-unique transport nonces; combined with the pid they make the
+#: version tokens of two transports — even across client restarts that
+#: recycle worker pids — never compare equal.
+_transport_ids = itertools.count(1)
+
+
+def transport_timeout_seconds() -> float:
+    """RPC timeout from ``REPRO_TRANSPORT_TIMEOUT_MS`` (default 10 000 ms).
+
+    ``0`` disables the timeout (block forever); malformed values raise,
+    like every other ``REPRO_*`` integer knob (see
+    :func:`repro.pdms.materialization.int_from_env`).
+    """
+    return int_from_env("REPRO_TRANSPORT_TIMEOUT_MS", 10_000) / 1000.0
+
+
+def _serve_peer(conn, instance: Instance) -> None:
+    """Worker-process loop: host one peer's instance, answer RPCs.
+
+    Module-level (not a closure) so the "spawn" start method can import
+    it.  The instance crosses the process boundary whole — pickled via
+    :meth:`Instance.__reduce__` under "spawn" (rows, arity map, and
+    schema survive; indexes rebuild lazily), inherited copy-on-write
+    under "fork" — so declared-but-empty relations keep their arity and
+    schema validation keeps applying to remote inserts.
+    """
+    while True:
+        try:
+            op, arg = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "stop":
+                conn.send(("ok", None))
+                break
+            if op == "ping":
+                conn.send(("ok", "pong"))
+            elif op == "sleep":
+                # Chaos aid: hold the worker busy for `arg` seconds before
+                # replying — the deterministic way to exercise the client's
+                # timeout circuit breaker.
+                time.sleep(float(arg))
+                conn.send(("ok", None))
+            elif op == "describe":
+                conn.send(("ok", describe_instance(instance)))
+            elif op == "scan_batch":
+                results = []
+                for relation, encoded in arg:
+                    pattern = decode_pattern(encoded)
+                    results.append(tuple(instance.get_matching(relation, pattern)))
+                conn.send(("ok", results))
+            elif op == "insert":
+                relation, rows = arg
+                for row in rows:
+                    instance.add(relation, row)
+                conn.send(("ok", len(rows)))
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except (ValueError, InstanceError) as exc:
+            # Malformed probe (arity clash) or invalid insert: *data*
+            # errors the client re-raises as the same type a local
+            # instance would have raised.
+            conn.send(("data_error", (type(exc).__name__, str(exc))))
+        except Exception as exc:  # pragma: no cover - defensive
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "lock", "broken")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.broken: Optional[str] = None
+
+
+class ProcessTransport(TransportBase):
+    """Hosts each peer's instance in a dedicated worker process.
+
+    Parameters
+    ----------
+    instances:
+        Per-peer data to ship; each instance's rows are rebuilt (and
+        re-indexed) inside that peer's worker.  The local objects are not
+        referenced afterwards — the worker's copy is the authoritative
+        one, mutated only through :meth:`insert`.
+    timeout:
+        Per-RPC timeout in seconds; defaults to
+        ``REPRO_TRANSPORT_TIMEOUT_MS`` (10 s).  ``0`` blocks forever.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (fast, no re-import) and the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        instances: Mapping[str, Instance],
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(instances)
+        self._timeout = timeout if timeout is not None else transport_timeout_seconds()
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self._nonce = (os.getpid(), next(_transport_ids))
+        self._workers: Dict[str, _Worker] = {}
+        try:
+            for name, instance in instances.items():
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_serve_peer,
+                    args=(child_conn, instance),
+                    name=f"repro-peer-{name}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers[name] = _Worker(process, parent_conn)
+        except BaseException:
+            # A later worker failing to start (e.g. an unpicklable
+            # instance under "spawn") must not orphan the ones already
+            # running — stop them before propagating.
+            self.close()
+            raise
+
+    # -- chaos / introspection --------------------------------------------
+
+    def _broken_peers(self):
+        """Peers whose circuit a timeout or lost pipe has broken."""
+        return (name for name, worker in self._workers.items() if worker.broken)
+
+    @property
+    def nonce(self) -> Tuple[int, int]:
+        """The transport-unique salt folded into shipped version tokens."""
+        return self._nonce
+
+    @property
+    def prefers_parallel(self) -> bool:
+        """Scatter hint: worker processes do real work off the caller's GIL."""
+        return True
+
+    # -- the wire ----------------------------------------------------------
+
+    def _call(self, peer: str, op: str, arg: object):
+        if self._closed:
+            raise TransportError("transport is closed", peer=peer)
+        worker = self._workers.get(peer)
+        with self._lock:
+            self._rpc_count += 1
+            if peer in self._failed:
+                raise TransportError(f"peer {peer!r} is unreachable", peer=peer)
+        if worker is None:
+            raise TransportError(f"unknown peer {peer!r}", peer=peer)
+        with worker.lock:
+            if worker.broken:
+                raise TransportError(
+                    f"peer {peer!r} circuit is broken: {worker.broken}", peer=peer
+                )
+            try:
+                worker.conn.send((op, arg))
+                if self._timeout and not worker.conn.poll(self._timeout):
+                    # The straggling response (if any) would desync every
+                    # later request/response pair — break the circuit.
+                    worker.broken = f"RPC {op!r} timed out after {self._timeout}s"
+                    worker.conn.close()
+                    raise TransportError(
+                        f"peer {peer!r}: {worker.broken}", peer=peer
+                    )
+                status, value = worker.conn.recv()
+            except TransportError:
+                raise
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                worker.broken = f"connection lost: {exc}"
+                raise TransportError(
+                    f"peer {peer!r} connection lost: {exc}", peer=peer
+                ) from exc
+        if status == "ok":
+            return value
+        if status == "data_error":
+            kind, message = value
+            raise (InstanceError if kind == "InstanceError" else ValueError)(message)
+        raise TransportError(f"peer {peer!r} RPC failed: {value}", peer=peer)
+
+    def peers(self) -> Tuple[str, ...]:
+        return tuple(self._workers)
+
+    def ping(self, peer: str) -> bool:
+        """Round-trip liveness probe."""
+        return self._call(peer, "ping", None) == "pong"
+
+    def sleep(self, peer: str, seconds: float) -> None:
+        """Hold ``peer`` busy for ``seconds`` (chaos aid for timeout tests)."""
+        self._call(peer, "sleep", seconds)
+
+    def describe(self, peer: str) -> Dict[str, RelationInfo]:
+        info = self._call(peer, "describe", None)
+        # Salt worker-side tokens: instance ids are only unique within the
+        # worker process, the nonce makes them unique across transports.
+        return {
+            relation: (arity, cardinality, (self._nonce, token))
+            for relation, (arity, cardinality, token) in info.items()
+        }
+
+    def scan_batch(
+        self, peer: str, requests: Sequence[ScanRequest]
+    ) -> List[Tuple[Row, ...]]:
+        results = self._call(peer, "scan_batch", list(requests))
+        self._count_scans(peer, len(requests))
+        return results
+
+    def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:
+        return self._call(peer, "insert", (relation, [tuple(row) for row in rows]))
+
+    def close(self) -> None:
+        """Stop every worker and release the pipes (idempotent)."""
+        if self._closed:
+            return
+        super().close()
+        for worker in self._workers.values():
+            with worker.lock:
+                if not worker.broken:
+                    try:
+                        worker.conn.send(("stop", None))
+                        worker.conn.poll(1.0)
+                    except (BrokenPipeError, OSError):
+                        pass
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        for worker in self._workers.values():
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+
+    def __del__(self):  # pragma: no cover - gc-time safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessTransport({len(self._workers)} peers, "
+            f"{self._rpc_count} rpcs)"
+        )

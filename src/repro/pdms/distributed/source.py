@@ -1,0 +1,408 @@
+"""A federated fact source over a peer-boundary transport.
+
+:class:`RemotePeerFactSource` is the remote twin of
+:class:`~repro.pdms.execution.PeerFactSource`: it implements the
+:class:`~repro.datalog.indexing.IndexedFactSource` protocol — plus the
+``data_version`` / ``cardinality`` extensions the planner and the
+:class:`~repro.pdms.materialization.FragmentCache` rely on — by routing
+every probe through a :class:`~repro.pdms.distributed.transport.Transport`
+instead of touching live instances.  Planning, fragment sharing, and
+version-keyed caching therefore work unchanged across the process
+boundary.
+
+Three mechanisms keep the RPC count sane and the semantics honest:
+
+* **Scan memoization** — every ``(relation, pattern)`` scan result is
+  memoized until :meth:`refresh` observes the relation's wire-fetched
+  version token move.  The join engine's inner loop repeats identical
+  probes constantly; each distinct probe crosses the wire once per data
+  version, and batched prefetch (:meth:`prefetch`) fetches a whole
+  rewriting's scans in one scatter-gather round.
+* **Version tokens over the wire** — ``describe`` ships each relation's
+  data-version token from the owning peer, and the combined token keeps
+  the :class:`~repro.pdms.materialization.FragmentCache` invalidation
+  contract: a remote write moves the token, peer churn changes the owner
+  set, and stale fragments stop being served.
+* **Degradation, not failure** — a scan lost to a
+  :class:`~repro.errors.TransportError` contributes no rows (a *sound
+  subset* under monotone conjunctive queries), records a
+  :class:`ScanFailure`, and marks the relation *degraded*:
+  :meth:`data_version` answers ``None`` for degraded relations so no
+  partial fragment can be admitted to a version-keyed cache, and the
+  partial memo entry is discarded at the next :meth:`refresh`.  Data
+  errors (arity clashes) still raise, exactly like a local probe.
+
+The source is thread-safe; one instance may serve many concurrent query
+executions (see :class:`~repro.pdms.distributed.cluster.ServiceCluster`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ...datalog.indexing import WILDCARD, Pattern
+from ...errors import MappingError, TransportError
+from ..materialization import int_from_env
+from .transport import EncodedPattern, RelationInfo, Row, Transport, encode_pattern
+
+
+@dataclass(frozen=True)
+class ScanFailure:
+    """One scan (or metadata fetch) lost to a transport fault."""
+
+    peer: str
+    relation: str
+    error: str
+
+
+def distributed_workers_from_env() -> int:
+    """Scatter width from ``REPRO_DISTRIBUTED_WORKERS`` (0 = auto).
+
+    Auto sizes the pool to the peer count (capped at 16).  Malformed
+    values fail fast like every ``REPRO_*`` integer knob.
+    """
+    return int_from_env("REPRO_DISTRIBUTED_WORKERS", 0)
+
+
+class RemotePeerFactSource:
+    """Indexed fact source federating probes over a transport.
+
+    Parameters
+    ----------
+    transport:
+        The peer boundary to probe through.
+    peers:
+        Subset of the transport's peers to serve (default: all).
+
+    Construction performs the first :meth:`refresh` — one ``describe``
+    round per peer establishing the relation routing table (with the same
+    eager cross-peer arity-clash check the in-process federated source
+    performs), per-relation cardinalities for the cost model, and the
+    version tokens the scan memo and fragment caches key on.
+    """
+
+    def __init__(self, transport: Transport, peers: Optional[Iterable[str]] = None):
+        self._transport = transport
+        self._peer_names: Tuple[str, ...] = (
+            tuple(peers) if peers is not None else tuple(transport.peers())
+        )
+        self._lock = threading.RLock()
+        self._routes: Dict[str, Tuple[str, ...]] = {}
+        self._arities: Dict[str, int] = {}
+        self._cards: Dict[str, int] = {}
+        self._tokens: Dict[str, Tuple[object, ...]] = {}
+        self._memo: Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]] = {}
+        #: Bumped by every refresh() that invalidated something; scans
+        #: committed to the memo only if the generation they started under
+        #: is still current, so rows fetched before an invalidating
+        #: refresh can never be re-inserted after it dropped them.
+        self._generation = 0
+        self._degraded: Set[str] = set()
+        self._unreachable: Set[str] = set()
+        self._failures: List[ScanFailure] = []
+        self._executor = None
+        self._closed = False
+        self.refresh()
+
+    # -- metadata ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TransportError("RemotePeerFactSource is closed")
+
+    def refresh(self) -> None:
+        """Re-fetch peer catalogs; drop memo entries whose version moved.
+
+        The describe round happens outside the lock, so concurrent
+        refreshes overlap on the wire; the commit — routing table, version
+        tokens, memo invalidation, clearing the degraded set — is atomic.
+        An unreachable peer is recorded as a :class:`ScanFailure` (its
+        relations drop out of the routing table, which itself moves the
+        affected version tokens) rather than raising.  A cross-peer arity
+        clash raises :class:`~repro.errors.MappingError` naming both
+        peers, exactly like the in-process federated source.
+        """
+        self._check_open()
+        catalogs: Dict[str, Dict[str, RelationInfo]] = {}
+        unreachable: Dict[str, str] = {}
+        for peer in self._peer_names:
+            try:
+                catalogs[peer] = self._transport.describe(peer)
+            except TransportError as exc:
+                unreachable[peer] = str(exc)
+        routes: Dict[str, List[str]] = {}
+        arities: Dict[str, int] = {}
+        cards: Dict[str, int] = {}
+        tokens: Dict[str, List[object]] = {}
+        first_seen: Dict[str, Tuple[str, int]] = {}
+        for peer, catalog in catalogs.items():
+            for relation, (arity, cardinality, token) in catalog.items():
+                earlier = first_seen.get(relation)
+                if earlier is None:
+                    first_seen[relation] = (peer, arity)
+                elif earlier[1] != arity:
+                    raise MappingError(
+                        f"stored relation {relation!r} has arity {earlier[1]} "
+                        f"at peer {earlier[0]!r} but arity {arity} at peer "
+                        f"{peer!r}"
+                    )
+                routes.setdefault(relation, []).append(peer)
+                arities[relation] = arity
+                cards[relation] = cards.get(relation, 0) + cardinality
+                tokens.setdefault(relation, []).append(token)
+        with self._lock:
+            for peer, error in unreachable.items():
+                self._failures.append(ScanFailure(peer, "*", error))
+            self._unreachable = set(unreachable)
+            new_tokens = {
+                relation: tuple(sorted(per_peer, key=repr))
+                for relation, per_peer in tokens.items()
+            }
+            stale = {
+                relation
+                for relation in set(self._tokens) | set(new_tokens)
+                if self._tokens.get(relation) != new_tokens.get(relation)
+            }
+            stale |= self._degraded
+            if stale:
+                self._memo = {
+                    key: rows
+                    for key, rows in self._memo.items()
+                    if key[0] not in stale
+                }
+                self._generation += 1
+            self._degraded = set()
+            self._routes = {rel: tuple(owners) for rel, owners in routes.items()}
+            self._arities = arities
+            self._cards = cards
+            self._tokens = new_tokens
+
+    def relations(self) -> Tuple[str, ...]:
+        """Stored relations currently reachable through this source."""
+        with self._lock:
+            return tuple(self._routes)
+
+    def owner_count(self, relation: str) -> int:
+        """How many peers serve ``relation`` (0 if unknown/unreachable)."""
+        with self._lock:
+            return len(self._routes.get(relation, ()))
+
+    def arity(self, relation: str) -> Optional[int]:
+        """Arity of ``relation`` as described by its owners, if known."""
+        with self._lock:
+            return self._arities.get(relation)
+
+    def cardinality(self, relation: str) -> int:
+        """Total row count across owners, as of the last refresh."""
+        with self._lock:
+            return self._cards.get(relation, 0)
+
+    def data_version(self, relation: str) -> Optional[Tuple[object, ...]]:
+        """The combined wire-fetched version token of ``relation``.
+
+        ``None`` for *degraded* relations (a scan failed since the last
+        refresh) — version-keyed caches must bypass them, because a
+        fragment computed from partial rows under an unchanged token
+        would later be served as complete.  Unknown relations yield the
+        empty tuple, like the in-process federated source.
+        """
+        with self._lock:
+            if relation in self._degraded:
+                return None
+            return self._tokens.get(relation, ())
+
+    # -- health ------------------------------------------------------------
+
+    @property
+    def failure_count(self) -> int:
+        """Monotone count of transport faults observed (snapshot windows)."""
+        with self._lock:
+            return len(self._failures)
+
+    def failures(self, since: int = 0) -> Tuple[ScanFailure, ...]:
+        """Failures recorded after index ``since`` (see ``failure_count``)."""
+        with self._lock:
+            return tuple(self._failures[since:])
+
+    @property
+    def degraded_relations(self) -> Tuple[str, ...]:
+        """Relations whose current memo window lost at least one scan."""
+        with self._lock:
+            return tuple(sorted(self._degraded))
+
+    @property
+    def unreachable_peers(self) -> Tuple[str, ...]:
+        """Peers whose last describe round failed."""
+        with self._lock:
+            return tuple(sorted(self._unreachable))
+
+    @property
+    def complete(self) -> bool:
+        """Is the current view fault-free (no degradation, all peers up)?"""
+        with self._lock:
+            return not self._degraded and not self._unreachable
+
+    def drop_memo(self) -> int:
+        """Forget every memoized scan (testing/benchmark hook)."""
+        with self._lock:
+            dropped = len(self._memo)
+            self._memo.clear()
+            return dropped
+
+    # -- scanning ----------------------------------------------------------
+
+    def _scatter_width(self) -> int:
+        configured = distributed_workers_from_env()
+        if configured:
+            return configured
+        return min(16, max(2, len(self._peer_names)))
+
+    def _pool(self):
+        with self._lock:
+            self._check_open()
+            if self._executor is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._scatter_width(),
+                    thread_name_prefix="repro-scatter",
+                )
+            return self._executor
+
+    def _record_failure(self, peer: str, relations: Iterable[str], error: str) -> None:
+        with self._lock:
+            for relation in relations:
+                self._failures.append(ScanFailure(peer, relation, error))
+                self._degraded.add(relation)
+
+    def _scan_peer(
+        self, peer: str, batch: List[Tuple[str, EncodedPattern]]
+    ) -> Optional[List[Tuple[Row, ...]]]:
+        """One batched scan RPC; ``None`` when lost to a transport fault."""
+        try:
+            return self._transport.scan_batch(peer, batch)
+        except TransportError as exc:
+            self._record_failure(peer, {relation for relation, _ in batch}, str(exc))
+            return None
+
+    def prefetch(
+        self,
+        requests: Iterable[Tuple[str, Pattern]],
+        parallel: bool = True,
+    ) -> int:
+        """Scatter-gather every not-yet-memoized scan in ``requests``.
+
+        Requests are grouped into one batched RPC per owning peer; with
+        ``parallel`` (and a transport that benefits — worker processes, or
+        injected latency) the per-peer batches run concurrently on a
+        thread pool, so a rewriting touching *k* peers pays one RPC
+        round-trip instead of *k*.  Returns the number of scans fetched.
+        Transport faults degrade (see the module docstring); data errors
+        propagate.
+        """
+        self._check_open()
+        wanted: List[Tuple[str, EncodedPattern]] = []
+        seen: Set[Tuple[str, EncodedPattern]] = set()
+        with self._lock:
+            generation = self._generation
+            for relation, pattern in requests:
+                key = (relation, encode_pattern(pattern))
+                if key in self._memo or key in seen:
+                    continue
+                seen.add(key)
+                wanted.append(key)
+            groups: Dict[str, List[Tuple[str, EncodedPattern]]] = {}
+            for key in wanted:
+                for owner in self._routes.get(key[0], ()):
+                    groups.setdefault(owner, []).append(key)
+        if not wanted:
+            return 0
+        results: Dict[str, Optional[List[Tuple[Row, ...]]]] = {}
+        if (
+            parallel
+            and len(groups) > 1
+            and getattr(self._transport, "prefers_parallel", True)
+        ):
+            pool = self._pool()
+            futures = {
+                peer: pool.submit(self._scan_peer, peer, batch)
+                for peer, batch in groups.items()
+            }
+            for peer, future in futures.items():
+                results[peer] = future.result()
+        else:
+            for peer, batch in groups.items():
+                results[peer] = self._scan_peer(peer, batch)
+        merged: Dict[Tuple[str, EncodedPattern], List[Row]] = {
+            key: [] for key in wanted
+        }
+        for peer, batch in groups.items():
+            rows_per_request = results.get(peer)
+            if rows_per_request is None:
+                continue
+            for key, rows in zip(batch, rows_per_request):
+                merged[key].extend(rows)
+        with self._lock:
+            # A concurrent refresh() that invalidated anything may have
+            # dropped entries these scans would now resurrect with
+            # pre-refresh rows — skip the commit; the next reader rescans.
+            if self._generation == generation:
+                for key in wanted:
+                    self._memo[key] = tuple(merged[key])
+        return len(wanted)
+
+    def get_matching(self, predicate: str, pattern: Pattern) -> Tuple[Row, ...]:
+        self._check_open()
+        key = (predicate, encode_pattern(pattern))
+        with self._lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                return cached
+            owners = self._routes.get(predicate, ())
+            generation = self._generation
+        if not owners:
+            return ()
+        rows: List[Row] = []
+        for owner in owners:
+            result = self._scan_peer(owner, [key])
+            if result is not None:
+                rows.extend(result[0])
+        combined = tuple(rows)
+        with self._lock:
+            # Same guard as prefetch: never resurrect rows across an
+            # invalidating refresh boundary.
+            if self._generation == generation:
+                self._memo[key] = combined
+        return combined
+
+    def get_tuples(self, predicate: str) -> Tuple[Row, ...]:
+        arity = self.arity(predicate)
+        if arity is None:
+            return ()
+        return self.get_matching(predicate, (WILDCARD,) * arity)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the scatter pool (the transport is the caller's).
+
+        Later scans and refreshes fail fast with
+        :class:`~repro.errors.TransportError` instead of silently
+        degrading or re-creating the pool.
+        """
+        with self._lock:
+            self._closed = True
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"RemotePeerFactSource({len(self._peer_names)} peers, "
+                f"{len(self._routes)} relations, {len(self._memo)} memoized, "
+                f"{len(self._failures)} failures)"
+            )

@@ -1,0 +1,313 @@
+"""The peer-boundary wire contract and the in-process loopback backend.
+
+A :class:`Transport` connects a query processor to a set of named peers,
+each hosting the stored relations it contributed to the PDMS.  The
+contract is deliberately tiny — four RPCs — so backends range from a
+zero-copy in-process loopback to one worker process per peer
+(:class:`~repro.pdms.distributed.process.ProcessTransport`) without the
+planner or cache layers noticing:
+
+``describe(peer)``
+    One metadata round trip: every relation the peer serves, as
+    ``{relation: (arity, cardinality, version token)}``.  The version
+    token is the peer's per-relation data version fetched *over the
+    wire*, so version-keyed caches (the
+    :class:`~repro.pdms.materialization.FragmentCache`) keep working
+    across the process boundary.
+
+``scan_batch(peer, requests)``
+    The workhorse: a batch of pattern-level scans, one round trip.  Each
+    request is ``(relation, encoded pattern)`` (see
+    :func:`encode_pattern`); the response carries one row tuple list per
+    request, in order.  Batching is what keeps the RPC count per query at
+    "one per peer per rewriting" instead of "one per index probe".
+
+``insert(peer, relation, rows)``
+    Appends rows at the owning peer (moves its version token).  Exists so
+    live-write workloads — and the chaos tests — can mutate remote data
+    through the same boundary they query through.
+
+``close()``
+    Releases backend resources (worker processes, pipes).
+
+Failures are reported as :class:`~repro.errors.TransportError`; *data*
+errors (an arity clash detected by the remote index) surface as
+``ValueError`` exactly like a local probe, so the planner's error paths
+stay transport-agnostic.
+
+:class:`LoopbackTransport` serves live in-process instances with zero
+copying — and doubles as the chaos harness: ``delay`` injects per-RPC
+latency, ``fail_peer`` makes one peer unreachable, and ``drop_every_n``
+drops every n-th scan RPC.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from ...database.instance import Instance
+from ...datalog.indexing import WILDCARD, Pattern
+from ...errors import TransportError
+
+Row = Tuple[object, ...]
+
+#: A wire-encoded pattern entry: ``("*",)`` for a wildcard position or
+#: ``("=", value)`` for a required value.  ``WILDCARD`` itself is a
+#: process-local singleton, so it must never cross the wire.
+EncodedEntry = Tuple[object, ...]
+EncodedPattern = Tuple[EncodedEntry, ...]
+
+#: One scan request on the wire: ``(relation, encoded pattern)``.
+ScanRequest = Tuple[str, EncodedPattern]
+
+#: ``describe`` response entry: ``(arity, cardinality, version token)``.
+RelationInfo = Tuple[int, int, object]
+
+
+def encode_pattern(pattern: Pattern) -> EncodedPattern:
+    """Encode a probe pattern for the wire (wildcards made explicit).
+
+    ``None`` is a legal data value, and :data:`WILDCARD` is a process-local
+    singleton, so each position is tagged: ``("*",)`` means unconstrained,
+    ``("=", value)`` means the row must carry ``value`` there.
+    """
+    return tuple(
+        ("*",) if entry is WILDCARD else ("=", entry) for entry in pattern
+    )
+
+
+def decode_pattern(encoded: EncodedPattern) -> Pattern:
+    """Decode a wire pattern back into the local probe representation."""
+    decoded: List[object] = []
+    for entry in encoded:
+        if entry[0] == "*":
+            decoded.append(WILDCARD)
+        elif entry[0] == "=":
+            decoded.append(entry[1])
+        else:
+            raise TransportError(f"malformed wire pattern entry {entry!r}")
+    return tuple(decoded)
+
+
+def describe_instance(instance: Instance) -> Dict[str, RelationInfo]:
+    """One instance's ``describe`` catalog — the single wire shape.
+
+    Shared by every backend (loopback serves it directly, the process
+    worker builds it remotely), so the catalog format cannot drift
+    between transports.  Relations whose arity is unknown are skipped —
+    they cannot be probed by any atom.
+    """
+    info: Dict[str, RelationInfo] = {}
+    for relation in instance.relations():
+        arity = instance.arity(relation)
+        if arity is None:
+            continue
+        info[relation] = (
+            arity,
+            instance.cardinality(relation),
+            instance.data_version(relation),
+        )
+    return info
+
+
+class Transport(Protocol):
+    """The peer-boundary RPC contract (see the module docstring)."""
+
+    def peers(self) -> Tuple[str, ...]:  # pragma: no cover - protocol
+        ...
+
+    def describe(self, peer: str) -> Dict[str, RelationInfo]:  # pragma: no cover
+        ...
+
+    def scan_batch(
+        self, peer: str, requests: Sequence[ScanRequest]
+    ) -> List[Tuple[Row, ...]]:  # pragma: no cover - protocol
+        ...
+
+    def insert(
+        self, peer: str, relation: str, rows: Iterable[Row]
+    ) -> int:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class TransportBase:
+    """Shared chaos-injection and traffic-accounting state for backends.
+
+    Subclasses provide the wire; this base owns the injected-failure set
+    (:meth:`fail_peer` / :meth:`restore_peer`), the per-peer scan
+    counters, the RPC counter, and the context-manager/closed flag, so
+    failure accounting and chaos semantics cannot drift between
+    backends.  Backends with an additional notion of brokenness (e.g. a
+    tripped timeout circuit) override :meth:`_broken_peers`.
+    """
+
+    def __init__(self, peers: Iterable[str]):
+        self._failed: set = set()
+        self._lock = threading.Lock()
+        self._scan_counts: Dict[str, int] = {name: 0 for name in peers}
+        self._rpc_count = 0
+        self._closed = False
+
+    # -- chaos hooks -------------------------------------------------------
+
+    def fail_peer(self, peer: str) -> None:
+        """Make ``peer`` unreachable until :meth:`restore_peer`."""
+        with self._lock:
+            self._failed.add(peer)
+
+    def restore_peer(self, peer: str) -> None:
+        """Bring a failed peer back (circuit-broken peers stay broken)."""
+        with self._lock:
+            self._failed.discard(peer)
+
+    def _broken_peers(self) -> Iterable[str]:
+        """Peers broken by the backend itself (beyond injected failures)."""
+        return ()
+
+    def failed_peers(self) -> Tuple[str, ...]:
+        """Peers injected as failed or broken by the backend."""
+        with self._lock:
+            return tuple(sorted(self._failed | set(self._broken_peers())))
+
+    # -- introspection -----------------------------------------------------
+
+    def scan_count(self, peer: str) -> int:
+        """Individual scan requests served for ``peer`` so far."""
+        with self._lock:
+            return self._scan_counts.get(peer, 0)
+
+    def _count_scans(self, peer: str, count: int) -> None:
+        with self._lock:
+            self._scan_counts[peer] = self._scan_counts.get(peer, 0) + count
+
+    @property
+    def rpc_count(self) -> int:
+        """Total RPCs attempted across all peers and operations."""
+        return self._rpc_count
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LoopbackTransport(TransportBase):
+    """Zero-copy transport over live in-process peer instances.
+
+    The reference backend: scans route straight to the owning
+    :class:`~repro.database.instance.Instance` (including its maintained
+    hash indexes) with no serialization, so it is both the fastest way to
+    run the ``"distributed"`` engine and the baseline the process backend
+    is measured against.
+
+    It is also the chaos harness.  Three injection hooks, all safe to
+    flip at runtime:
+
+    ``delay``
+        Seconds slept inside every RPC (simulated wire latency; applies
+        to ``describe`` and ``scan_batch``).
+    ``fail_peer(name)`` / ``restore_peer(name)``
+        While failed, every RPC to the peer raises
+        :class:`~repro.errors.TransportError` — an unreachable peer.
+    ``drop_every_n``
+        When set to *n* > 0, every n-th ``scan_batch`` RPC (counted
+        transport-wide) raises — transient packet-loss-style faults.
+
+    Per-peer scan counters (:meth:`scan_count`) count individual scan
+    requests served, for the examples' per-peer traffic reports.
+    """
+
+    def __init__(
+        self,
+        instances: Mapping[str, Instance],
+        delay: float = 0.0,
+        drop_every_n: int = 0,
+    ):
+        self._instances: Dict[str, Instance] = dict(instances)
+        super().__init__(self._instances)
+        self.delay = delay
+        self.drop_every_n = drop_every_n
+        self._scan_rpc_count = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def instance(self, peer: str) -> Instance:
+        """The live instance behind ``peer`` (tests mutate data through it)."""
+        return self._instances[peer]
+
+    @property
+    def prefers_parallel(self) -> bool:
+        """Scatter hint: threads only pay off once RPCs have latency.
+
+        Zero-latency loopback RPCs are plain function calls under the
+        GIL — a thread pool adds overhead and wins nothing — so the
+        remote source scatters sequentially unless latency is injected.
+        """
+        return self.delay > 0
+
+    # -- the wire ----------------------------------------------------------
+
+    def _enter_rpc(self, peer: str, scan: bool = False) -> None:
+        if self._closed:
+            raise TransportError("transport is closed", peer=peer)
+        with self._lock:
+            self._rpc_count += 1
+            if peer in self._failed:
+                raise TransportError(f"peer {peer!r} is unreachable", peer=peer)
+            if peer not in self._instances:
+                raise TransportError(f"unknown peer {peer!r}", peer=peer)
+            if scan:
+                self._scan_rpc_count += 1
+                if self.drop_every_n and self._scan_rpc_count % self.drop_every_n == 0:
+                    raise TransportError(
+                        f"scan RPC to {peer!r} dropped (injected)", peer=peer
+                    )
+        if self.delay > 0:
+            time.sleep(self.delay)
+
+    def peers(self) -> Tuple[str, ...]:
+        return tuple(self._instances)
+
+    def describe(self, peer: str) -> Dict[str, RelationInfo]:
+        self._enter_rpc(peer)
+        return describe_instance(self._instances[peer])
+
+    def scan_batch(
+        self, peer: str, requests: Sequence[ScanRequest]
+    ) -> List[Tuple[Row, ...]]:
+        self._enter_rpc(peer, scan=True)
+        instance = self._instances[peer]
+        results: List[Tuple[Row, ...]] = []
+        for relation, encoded in requests:
+            pattern = decode_pattern(encoded)
+            # ValueError (arity clash against the probing atom) propagates
+            # as-is: it is a data error, not a transport fault.
+            results.append(tuple(instance.get_matching(relation, pattern)))
+        self._count_scans(peer, len(requests))
+        return results
+
+    def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:
+        self._enter_rpc(peer)
+        instance = self._instances[peer]
+        count = 0
+        for row in rows:
+            instance.add(relation, row)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LoopbackTransport({len(self._instances)} peers, "
+            f"{self._rpc_count} rpcs)"
+        )

@@ -1,7 +1,7 @@
 """Execution of reformulated queries over the peers' stored relations.
 
 The paper leaves execution to an external (adaptive) query processor; this
-module provides three interchangeable engines behind a small registry:
+module provides four interchangeable engines behind a small registry:
 
 * ``"backtracking"`` — each rewriting through the direct indexed-join
   conjunctive-query evaluator;
@@ -9,7 +9,13 @@ module provides three interchangeable engines behind a small registry:
   (the route a classical database system would take);
 * ``"shared"`` — the whole union of rewritings compiled into one shared
   union-plan DAG (:mod:`repro.pdms.planning`) with hash-consed common
-  sub-conjunctions evaluated once and an optional thread pool.
+  sub-conjunctions evaluated once and an optional thread pool;
+* ``"distributed"`` — the shared union plan with every stored-relation
+  scan scatter-gathered over a peer-boundary transport
+  (:mod:`repro.pdms.distributed`), degrading to best-effort sound-subset
+  answers when peers fail.  Registered on import of
+  :mod:`repro.pdms.distributed.engine` (the ``repro.pdms`` package does
+  this), not here, to keep the dependency arrow pointing one way.
 
 Execution is *streaming*: rewritings are pulled from the reformulation
 generator one at a time and evaluated as they arrive, so the first answers
@@ -364,6 +370,16 @@ class PeerFactSource:
         if relation_creation_clock.read() != self._clock_stamp:
             self._refresh()
         return tuple(self._routes)
+
+    def instances(self) -> Dict[str, Instance]:
+        """A copy of the peer-name → live-instance mapping behind this view.
+
+        The distributed runtime uses this to lift an in-process federated
+        view onto a transport boundary (e.g. wrapping it in a
+        :class:`~repro.pdms.distributed.transport.LoopbackTransport`)
+        without re-plumbing the callers that built the view.
+        """
+        return dict(self._instances)
 
     def owner_count(self, relation: str) -> int:
         """How many peer instances serve ``relation`` (0 if unknown)."""

@@ -158,6 +158,18 @@ class FragmentCacheStats:
         """Fraction of lookups served from cache (0.0 when none yet)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """A flat snapshot of every counter (status endpoints, examples)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "admissions": self.admissions,
+            "rejections": self.rejections,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
 
 @dataclass(frozen=True)
 class AdmissionPolicy:

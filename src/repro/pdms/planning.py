@@ -300,6 +300,7 @@ class UnionPlan:
         self.bushy = bushy
         self._cost = cost
         self._relations_cache: Dict[str, FrozenSet[str]] = {}
+        self._scans_cache: Dict[str, Tuple[Tuple[str, Tuple[object, ...]], ...]] = {}
         # _LazySeq serialises advancement under its lock, so node-table
         # mutation inside _compile_rewriting is single-threaded even when
         # several executions iterate fragments() concurrently.
@@ -370,6 +371,33 @@ class UnionPlan:
                     self.fragment_relations(node.right_key)
                 )
             self._relations_cache[key] = cached
+        return cached
+
+    def scan_requests(
+        self, key: str
+    ) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+        """The stored-relation scans under fragment ``key`` (transitively).
+
+        One ``(relation, pattern)`` pair per distinct
+        :class:`ScanFragment` leaf, in DAG order.  This is the fragment's
+        *wire footprint*: a distributed executor can issue exactly these
+        scans — batched per owning peer, concurrently — before evaluating
+        the fragment, so the joins above never block on a remote probe.
+        """
+        cached = self._scans_cache.get(key)
+        if cached is None:
+            node = self.nodes[key]
+            if isinstance(node, ScanFragment):
+                cached = ((node.relation, node.pattern),)
+            else:
+                merged = list(self.scan_requests(node.left_key))
+                seen = set(merged)
+                for request in self.scan_requests(node.right_key):
+                    if request not in seen:
+                        seen.add(request)
+                        merged.append(request)
+                cached = tuple(merged)
+            self._scans_cache[key] = cached
         return cached
 
     def _compile_rewriting(self, rewriting: ConjunctiveQuery) -> RewritingPlan:

@@ -42,14 +42,23 @@ that scenario cheap to serve repeatedly:
   evicts the departed peer's dependents.  ``stats.fragments`` reports
   the hit/miss/admission/eviction counters.
 
+* **Concurrency safety** — every cache structure and counter is guarded
+  by one reentrant mutex: reformulation and plan compilation (which
+  mutate the shared caches) run inside it, evaluation runs outside, so
+  concurrent callers — e.g. through a
+  :class:`~repro.pdms.distributed.cluster.ServiceCluster` — never corrupt
+  the LRU order, lose invalidations, or double-count stats.
+
 This module is the substrate later scaling work (sharding, async,
 multi-backend execution) plugs into; see ``docs/pdms.md`` for the design
-notes and invalidation rules, and ``docs/materialization.md`` for the
-fragment-cache design.
+notes and invalidation rules, ``docs/materialization.md`` for the
+fragment-cache design, and ``docs/distributed.md`` for the peer-boundary
+runtime layered on top.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
@@ -119,6 +128,19 @@ class ServiceStats:
         """Fraction of lookups served from cache (0.0 when none yet)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """A flat snapshot of every counter (status endpoints, examples)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "plans_compiled": self.plans_compiled,
+            "plan_invalidations": self.plan_invalidations,
+            "fragments": self.fragments.as_dict(),
+        }
+
 
 class QueryService:
     """A query-answering front end over one :class:`PDMS`.
@@ -186,6 +208,12 @@ class QueryService:
             raise PDMSConfigurationError(str(exc)) from exc
         if max_entries < 1:
             raise PDMSConfigurationError("max_entries must be at least 1")
+        # One reentrant mutex guards every cache structure and counter:
+        # the service is safe under concurrent callers (the cluster layer
+        # leans on this).  Reformulation and plan compilation happen
+        # *inside* the lock — they mutate the shared caches — while
+        # evaluation (the long, read-mostly part) runs outside it.
+        self._mutex = threading.RLock()
         self._pdms = pdms if pdms is not None else PDMS()
         self._config = config if config is not None else DEFAULT_CONFIG
         self._engine = engine
@@ -241,67 +269,74 @@ class QueryService:
 
     def cached_signatures(self) -> Tuple[str, ...]:
         """Signatures currently in the cache (LRU order, oldest first)."""
-        return tuple(self._cache)
+        with self._mutex:
+            return tuple(self._cache)
 
     # -- data management -----------------------------------------------------------
 
     def set_data(self, data: Union[FactsLike, Mapping[str, Instance]]) -> None:
         """Replace the stored-relation data the service answers over."""
-        self._peer_data = {}
-        self._flat_data = None
-        if is_per_peer_data(data):
-            self._peer_data = dict(data)  # type: ignore[arg-type]
-        else:
-            self._flat_data = data  # type: ignore[assignment]
-        self._combined = None
+        with self._mutex:
+            self._peer_data = {}
+            self._flat_data = None
+            if is_per_peer_data(data):
+                self._peer_data = dict(data)  # type: ignore[arg-type]
+            else:
+                self._flat_data = data  # type: ignore[assignment]
+            self._combined = None
 
     def set_peer_data(self, peer_name: str, instance: Instance) -> None:
         """Attach (or replace) one peer's stored-relation instance."""
-        if self._flat_data is not None:
-            raise PDMSConfigurationError(
-                "service holds a flat fact source; per-peer data is unavailable"
-            )
-        self._peer_data[peer_name] = instance
-        self._combined = None
+        with self._mutex:
+            if self._flat_data is not None:
+                raise PDMSConfigurationError(
+                    "service holds a flat fact source; per-peer data is unavailable"
+                )
+            self._peer_data[peer_name] = instance
+            self._combined = None
 
     def _data(self, override: Union[FactsLike, Mapping[str, Instance], None]) -> FactsLike:
         if override is not None:
             return federate_if_per_peer(override)
-        if self._flat_data is not None:
-            return self._flat_data
-        if self._combined is None:
-            # No copy: probes route to the live per-peer instances.  The
-            # federated view is rebuilt whenever the peer-data set changes.
-            self._combined = PeerFactSource(self._peer_data)
-        return self._combined
+        with self._mutex:
+            if self._flat_data is not None:
+                return self._flat_data
+            if self._combined is None:
+                # No copy: probes route to the live per-peer instances.  The
+                # federated view is rebuilt whenever the peer-data set changes.
+                self._combined = PeerFactSource(self._peer_data)
+            return self._combined
 
     # -- catalogue churn -----------------------------------------------------------
 
     def add_peer(self, peer: Union[Peer, str], data: Optional[Instance] = None) -> Peer:
         """Register a peer joining the system, optionally with its data."""
-        if data is not None and self._flat_data is not None:
-            # Validate before touching the PDMS so a rejected call leaves
-            # the system unchanged (and retryable).
-            raise PDMSConfigurationError(
-                "service holds a flat fact source; per-peer data is unavailable"
-            )
-        added = self._pdms.add_peer(peer)
-        if data is not None:
-            self.set_peer_data(added.name, data)
-        self._sync()
-        return added
+        with self._mutex:
+            if data is not None and self._flat_data is not None:
+                # Validate before touching the PDMS so a rejected call leaves
+                # the system unchanged (and retryable).
+                raise PDMSConfigurationError(
+                    "service holds a flat fact source; per-peer data is unavailable"
+                )
+            added = self._pdms.add_peer(peer)
+            if data is not None:
+                self.set_peer_data(added.name, data)
+            self._sync()
+            return added
 
     def add_peer_mapping(self, mapping: AnyPeerMapping) -> AnyPeerMapping:
         """Register a peer mapping; invalidates only provenance-affected entries."""
-        added = self._pdms.add_peer_mapping(mapping)
-        self._sync()
-        return added
+        with self._mutex:
+            added = self._pdms.add_peer_mapping(mapping)
+            self._sync()
+            return added
 
     def add_storage_description(self, description: StorageDescription) -> StorageDescription:
         """Register a storage description; invalidates only affected entries."""
-        added = self._pdms.add_storage_description(description)
-        self._sync()
-        return added
+        with self._mutex:
+            added = self._pdms.add_storage_description(description)
+            self._sync()
+            return added
 
     def remove_peer(self, peer_name: str) -> CatalogueChange:
         """Remove a peer, its descriptions, and its per-peer data.
@@ -311,23 +346,25 @@ class QueryService:
         *served* anyway (the owner set changed), but reclaiming the bytes
         now keeps the budget for fragments that can still hit.
         """
-        change = self._pdms.remove_peer(peer_name)
-        departed = self._peer_data.pop(peer_name, None)
-        if departed is not None:
-            self._combined = None
-            if self._fragments is not None and self._owns_fragment_cache:
-                # A shared external cache may hold other services' valid
-                # entries for identically named relations; leave those to
-                # version-token staleness and the LRU.
-                self._fragments.invalidate_relations(departed.relations())
-        self._sync()
-        return change
+        with self._mutex:
+            change = self._pdms.remove_peer(peer_name)
+            departed = self._peer_data.pop(peer_name, None)
+            if departed is not None:
+                self._combined = None
+                if self._fragments is not None and self._owns_fragment_cache:
+                    # A shared external cache may hold other services' valid
+                    # entries for identically named relations; leave those to
+                    # version-token staleness and the LRU.
+                    self._fragments.invalidate_relations(departed.relations())
+            self._sync()
+            return change
 
     def remove_peer_mapping(self, name: str) -> CatalogueChange:
         """Remove the peer mapping called ``name``."""
-        change = self._pdms.remove_peer_mapping(name)
-        self._sync()
-        return change
+        with self._mutex:
+            change = self._pdms.remove_peer_mapping(name)
+            self._sync()
+            return change
 
     def _drop_plan(self, signature: str) -> None:
         if self._plans.pop(signature, None) is not None:
@@ -340,6 +377,10 @@ class QueryService:
         ride the same provenance signal: whenever an entry goes, its plan
         goes with it.
         """
+        with self._mutex:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
         if self._seen_version == self._pdms.catalogue_version:
             return
         for change in self._pdms.changes_since(self._seen_version):
@@ -391,23 +432,24 @@ class QueryService:
         return self._lookup(canonicalize_query(query))[1]
 
     def _lookup(self, canonical: CanonicalQuery) -> Tuple[str, ReformulationResult]:
-        self._sync()
-        result = self._cache.get(canonical.signature)
-        if result is not None:
-            self._stats.hits += 1
-            self._cache.move_to_end(canonical.signature)
+        with self._mutex:
+            self._sync_locked()
+            result = self._cache.get(canonical.signature)
+            if result is not None:
+                self._stats.hits += 1
+                self._cache.move_to_end(canonical.signature)
+                return canonical.signature, result
+            self._stats.misses += 1
+            result = reformulate(self._pdms, canonical.query, config=self._config)
+            # No eager materialisation: a cold `limit=k` call consumes only a
+            # prefix of the rewriting enumeration, and the result memoizes
+            # whatever it produced so future hits continue where it stopped.
+            self._cache[canonical.signature] = result
+            while len(self._cache) > self._max_entries:
+                evicted, _ = self._cache.popitem(last=False)
+                self._drop_plan(evicted)
+                self._stats.evictions += 1
             return canonical.signature, result
-        self._stats.misses += 1
-        result = reformulate(self._pdms, canonical.query, config=self._config)
-        # No eager materialisation: a cold `limit=k` call consumes only a
-        # prefix of the rewriting enumeration, and the result memoizes
-        # whatever it produced so future hits continue where it stopped.
-        self._cache[canonical.signature] = result
-        while len(self._cache) > self._max_entries:
-            evicted, _ = self._cache.popitem(last=False)
-            self._drop_plan(evicted)
-            self._stats.evictions += 1
-        return canonical.signature, result
 
     def _plan_for(
         self, signature: str, result: ReformulationResult, source: FactsLike
@@ -418,12 +460,13 @@ class QueryService:
         stream) and cached under the entry's signature; a stale plan
         (whose result was invalidated and re-reformulated) is recompiled.
         """
-        plan = self._plans.get(signature)
-        if plan is None or plan.result is not result:
-            plan = ensure_plan(result, source)
-            self._plans[signature] = plan
-            self._stats.plans_compiled += 1
-        return plan
+        with self._mutex:
+            plan = self._plans.get(signature)
+            if plan is None or plan.result is not result:
+                plan = ensure_plan(result, source)
+                self._plans[signature] = plan
+                self._stats.plans_compiled += 1
+            return plan
 
     def clear_cache(self) -> None:
         """Drop every cached reformulation, plan, and fragment table
@@ -432,10 +475,11 @@ class QueryService:
         An externally supplied fragment cache is left alone — other
         services may be serving warm entries from it; clear it directly
         if that is really wanted."""
-        self._cache.clear()
-        self._plans.clear()
-        if self._fragments is not None and self._owns_fragment_cache:
-            self._fragments.clear()
+        with self._mutex:
+            self._cache.clear()
+            self._plans.clear()
+            if self._fragments is not None and self._owns_fragment_cache:
+                self._fragments.clear()
 
     # -- answering -------------------------------------------------------------------
 
@@ -465,24 +509,30 @@ class QueryService:
         engine: Optional[str],
         data: Union[FactsLike, Mapping[str, Instance], None],
     ):
-        """Resolve engine/data/reformulation/plan/cache for one call."""
+        """Resolve engine/data/reformulation/plan/cache for one call.
+
+        Runs entirely under the service mutex so concurrent callers see a
+        consistent (source, reformulation, plan) triple; the evaluation
+        itself happens outside the lock.
+        """
         engine = validate_engine(engine if engine is not None else self._engine)
-        source = self._data(data)
-        signature, result = self._lookup(canonicalize_query(query))
-        plan = None
-        if getattr(get_engine(engine), "uses_plans", False):
-            plan = self._plan_for(signature, result, source)
-        # The fragment cache holds one entry per fragment key, keyed to
-        # the service's own data by version token.  A one-off data
-        # override would churn those warm entries (admit under its own
-        # tokens, evicting same-key entries), so overrides bypass the
-        # cache; the identity checks keep answer_batch's pre-resolved
-        # shared source on the cached path.
-        own_data = (
-            data is None or source is self._flat_data or source is self._combined
-        )
-        cache = self._fragments if own_data else None
-        return engine, source, result, plan, cache
+        with self._mutex:
+            source = self._data(data)
+            signature, result = self._lookup(canonicalize_query(query))
+            plan = None
+            if getattr(get_engine(engine), "uses_plans", False):
+                plan = self._plan_for(signature, result, source)
+            # The fragment cache holds one entry per fragment key, keyed to
+            # the service's own data by version token.  A one-off data
+            # override would churn those warm entries (admit under its own
+            # tokens, evicting same-key entries), so overrides bypass the
+            # cache; the identity checks keep answer_batch's pre-resolved
+            # shared source on the cached path.
+            own_data = (
+                data is None or source is self._flat_data or source is self._combined
+            )
+            cache = self._fragments if own_data else None
+            return engine, source, result, plan, cache
 
     def stream(
         self,

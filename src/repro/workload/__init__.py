@@ -16,6 +16,7 @@ from .scenarios import (
     build_emergency_services,
     example_queries,
     sample_instance,
+    sample_peer_instances,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "populate_stored_relations",
     "populate_workload",
     "sample_instance",
+    "sample_peer_instances",
 ]

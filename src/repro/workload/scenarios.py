@@ -412,6 +412,39 @@ def sample_instance() -> Instance:
     return instance
 
 
+#: Which scenario peer owns each stored relation of :func:`sample_instance`
+#: (derivable from the storage descriptions; spelled out for the per-peer
+#: splitters below).
+SAMPLE_RELATION_OWNERS: Dict[str, str] = {
+    "doc": "FH", "sched": "FH", "fh_patients": "FH",
+    "fh_ambulances": "FH", "fh_emts": "FH",
+    "lh_critical": "LH", "lh_emergency": "LH", "lh_staff": "LH",
+    "station12_engines": "PFD", "station12_roster": "PFD",
+    "station12_skills": "PFD", "station12_schedule": "PFD",
+    "station3_engines": "VFD", "station3_skills": "VFD",
+    "station3_schedule": "VFD", "station3_first_response": "VFD",
+}
+
+
+def sample_peer_instances() -> Dict[str, Instance]:
+    """The :func:`sample_instance` rows split per owning peer.
+
+    The natural shape for the distributed runtime: four data-bearing
+    peers (FH, LH, PFD, VFD), each holding exactly the stored relations
+    its storage descriptions declare — ready to hand to a
+    :class:`~repro.pdms.distributed.transport.LoopbackTransport` or to
+    ship into per-peer worker processes.
+    """
+    combined = sample_instance()
+    per_peer: Dict[str, Instance] = {}
+    for relation in combined.relations():
+        owner = SAMPLE_RELATION_OWNERS[relation]
+        per_peer.setdefault(owner, Instance()).add_all(
+            relation, combined.get_tuples(relation)
+        )
+    return per_peer
+
+
 def example_queries() -> Dict[str, ConjunctiveQuery]:
     """Representative queries over different peers of the scenario."""
     return {
