@@ -54,6 +54,12 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("cases.bushy_sharing.bushy_shared_subgoal_ratio", "exact"),
         ("cases.bushy_sharing.bushy_speedup", "timing"),
     ),
+    "BENCH_columnar.json": (
+        ("cases.kernel_vs_row.join_speedup", "timing"),
+        ("cases.kernel_vs_row.fused_select_speedup", "timing"),
+        ("cases.columnar_engine.end_to_end_speedup", "timing"),
+        ("cases.parallel.thread_speedup_4_workers", "timing"),
+    ),
     "BENCH_distributed.json": (
         ("cases.scatter_gather.speedup_vs_serial", "timing"),
         ("cases.transport_overhead.loopback_relative_throughput", "timing"),

@@ -1,0 +1,127 @@
+"""Deployment knobs: every ``REPRO_*`` environment variable in one place.
+
+Before this module existed, each subsystem read its own environment
+variables through locally re-implemented parsing helpers, and the copies
+drifted on error messages.  All integer knobs now flow through
+:func:`int_from_env` and all enumerated knobs through
+:func:`choice_from_env`, so every knob fails fast with the same message
+shape — mirroring the treatment ``REPRO_DEFAULT_ENGINE`` gets in
+:func:`repro.pdms.execution.default_engine` (that knob stays there
+because validating it needs the live engine registry).
+
+The consolidated knob table lives in ``docs/distributed.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from .errors import EvaluationError
+
+
+def int_from_env(name: str, default: int, minimum: int = 0) -> int:
+    """Read an integer from the environment, failing fast when malformed.
+
+    A non-integer or below-minimum value raises :class:`EvaluationError`
+    at the first call that reads it, with the offending value spelled
+    out — never a silent fallback that hides a typo'd deployment knob.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EvaluationError(f"{name}={raw!r} is not an integer") from None
+    if value < minimum:
+        raise EvaluationError(f"{name}={raw!r} must be >= {minimum}")
+    return value
+
+
+def choice_from_env(name: str, default: str, choices: Sequence[str]) -> str:
+    """Read an enumerated string knob, failing fast on unknown values."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    if raw not in choices:
+        raise EvaluationError(
+            f"{name}={raw!r} is not one of: {', '.join(choices)}"
+        )
+    return raw
+
+
+def bool_from_env(name: str, default: bool) -> bool:
+    """Read a 0/1 toggle (any non-negative integer; 0 is off, >0 is on)."""
+    return int_from_env(name, 1 if default else 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# The knobs (one documented reader per REPRO_* variable)
+# ---------------------------------------------------------------------------
+
+def shared_workers() -> int:
+    """Worker count for the shared/columnar engines (``REPRO_SHARED_WORKERS``).
+
+    ``0`` (the default) means sequential in-thread execution; values > 1
+    evaluate independent rewriting roots concurrently on the executor
+    selected by :func:`shared_executor`.
+    """
+    return int_from_env("REPRO_SHARED_WORKERS", 0)
+
+
+def shared_executor() -> str:
+    """Executor kind behind ``REPRO_SHARED_WORKERS`` (``REPRO_SHARED_EXECUTOR``).
+
+    ``"thread"`` (default): a thread pool — cheap, keeps the per-call
+    fragment memo shared, and scales on multicore only where the columnar
+    kernels release the GIL (large NumPy batches).  ``"process"``: a
+    process pool — rewriting roots are evaluated in worker processes with
+    their scan rows shipped over, so even the pure-Python kernel fallback
+    scales with cores, at the price of per-task serialisation and no
+    cross-root fragment sharing.
+    """
+    return choice_from_env("REPRO_SHARED_EXECUTOR", "thread", ("thread", "process"))
+
+
+def columnar_enabled() -> bool:
+    """Whether plan execution uses the columnar kernels (``REPRO_COLUMNAR``).
+
+    On by default.  ``REPRO_COLUMNAR=0`` drops the shared engine and the
+    vectorized planner back to the row-at-a-time paths — the switch the
+    kernel-vs-row benchmarks and the equivalence suites flip.  The
+    ``"columnar"`` engine ignores this toggle (it always vectorizes).
+    """
+    return bool_from_env("REPRO_COLUMNAR", True)
+
+
+def fragment_cache_bytes() -> int:
+    """Byte budget of a service fragment cache (``REPRO_FRAGMENT_CACHE_BYTES``).
+
+    The default (64 MiB) lives in :mod:`repro.pdms.materialization`;
+    ``0`` disables cross-call fragment caching entirely.
+    """
+    from .pdms.materialization import DEFAULT_FRAGMENT_CACHE_BYTES
+
+    return int_from_env("REPRO_FRAGMENT_CACHE_BYTES", DEFAULT_FRAGMENT_CACHE_BYTES)
+
+
+def distributed_workers() -> int:
+    """Scatter width for per-peer scan batches (``REPRO_DISTRIBUTED_WORKERS``).
+
+    ``0`` (the default) sizes the pool automatically (peer count, capped).
+    """
+    return int_from_env("REPRO_DISTRIBUTED_WORKERS", 0)
+
+
+def transport_timeout_seconds() -> float:
+    """Per-RPC deadline in seconds (``REPRO_TRANSPORT_TIMEOUT_MS``).
+
+    Default 10 000 ms; ``0`` blocks forever.
+    """
+    return int_from_env("REPRO_TRANSPORT_TIMEOUT_MS", 10_000) / 1000.0
+
+
+def max_inflight() -> int:
+    """Cluster admission bound (``REPRO_MAX_INFLIGHT``; 0 = unbounded)."""
+    return int_from_env("REPRO_MAX_INFLIGHT", 0)

@@ -43,6 +43,24 @@ class Table:
         object.__setattr__(self, "columns", cols)
         object.__setattr__(self, "rows", frozen)
 
+    @classmethod
+    def _trusted(cls, columns: Tuple[str, ...], rows: Iterable[Row]) -> "Table":
+        """Fast-path constructor for algebra/planner internals.
+
+        Skips the per-row width re-validation that ``__init__`` performs:
+        operator outputs are built from rows of an already-validated table,
+        so re-checking every intermediate result is O(n) wasted per
+        operator.  Callers must pass a tuple of unique column names and
+        rows that are width-matching tuples; validation stays at API
+        boundaries (``__init__``).
+        """
+        table = object.__new__(cls)
+        object.__setattr__(table, "columns", columns)
+        object.__setattr__(
+            table, "rows", rows if isinstance(rows, frozenset) else frozenset(rows)
+        )
+        return table
+
     # -- helpers -----------------------------------------------------------------
 
     def column_index(self, column: str) -> int:
@@ -74,17 +92,21 @@ class Table:
             for row in self.rows
             if predicate(dict(zip(self.columns, row)))
         ]
-        return Table(self.columns, kept)
+        return Table._trusted(self.columns, kept)
 
     def select_eq(self, column: str, value: object) -> "Table":
         """Keep rows whose ``column`` equals ``value``."""
         index = self.column_index(column)
-        return Table(self.columns, [row for row in self.rows if row[index] == value])
+        return Table._trusted(
+            self.columns, [row for row in self.rows if row[index] == value]
+        )
 
     def select_columns_equal(self, first: str, second: str) -> "Table":
         """Keep rows where two columns hold the same value."""
         i, j = self.column_index(first), self.column_index(second)
-        return Table(self.columns, [row for row in self.rows if row[i] == row[j]])
+        return Table._trusted(
+            self.columns, [row for row in self.rows if row[i] == row[j]]
+        )
 
     def project(self, columns: Sequence[str]) -> "Table":
         """Project onto ``columns`` (duplicates in the argument are allowed
@@ -97,12 +119,14 @@ class Table:
             out_columns.append(column if count == 0 else f"{column}#{count}")
             seen[column] = count + 1
         rows = [tuple(row[i] for i in indices) for row in self.rows]
-        return Table(out_columns, rows)
+        return Table._trusted(tuple(out_columns), rows)
 
     def rename(self, mapping: Mapping[str, str]) -> "Table":
         """Rename columns according to ``mapping`` (missing keys unchanged)."""
-        new_columns = [mapping.get(c, c) for c in self.columns]
-        return Table(new_columns, self.rows)
+        new_columns = tuple(mapping.get(c, c) for c in self.columns)
+        if len(set(new_columns)) != len(new_columns):
+            raise EvaluationError(f"duplicate column names: {new_columns}")
+        return Table._trusted(new_columns, self.rows)
 
     def natural_join(self, other: "Table") -> "Table":
         """Natural join on all shared column names (hash join)."""
@@ -130,7 +154,7 @@ class Table:
                     + tuple(row[i] for i in left_only_idx)
                     + tuple(match[i] for i in right_only_idx)
                 )
-        return Table(out_columns, out_rows)
+        return Table._trusted(tuple(out_columns), out_rows)
 
     def union(self, other: "Table") -> "Table":
         """Set union; requires identical column lists."""
@@ -138,7 +162,7 @@ class Table:
             raise EvaluationError(
                 f"union requires identical columns: {self.columns} vs {other.columns}"
             )
-        return Table(self.columns, set(self.rows) | set(other.rows))
+        return Table._trusted(self.columns, self.rows | other.rows)
 
     def distinct(self) -> "Table":
         """Explicit duplicate elimination.
@@ -161,7 +185,7 @@ class Table:
             raise EvaluationError(
                 f"difference requires identical columns: {self.columns} vs {other.columns}"
             )
-        return Table(self.columns, set(self.rows) - set(other.rows))
+        return Table._trusted(self.columns, self.rows - other.rows)
 
     def cross(self, other: "Table") -> "Table":
         """Cartesian product; column names must be disjoint."""
@@ -169,7 +193,7 @@ class Table:
         if overlap:
             raise EvaluationError(f"cross product requires disjoint columns; shared: {overlap}")
         out_rows = [left + right for left in self.rows for right in other.rows]
-        return Table(self.columns + other.columns, out_rows)
+        return Table._trusted(self.columns + other.columns, out_rows)
 
     def __str__(self) -> str:
         header = " | ".join(self.columns)
@@ -197,7 +221,7 @@ def union_many(tables: Sequence[Table], columns: Optional[Sequence[str]] = None)
                 f"union requires identical columns: {first} vs {table.columns}"
             )
         rows |= table.rows
-    return Table(first, rows)
+    return Table._trusted(first, rows)
 
 
 def table_from_instance(instance, relation: str, columns: Optional[Sequence[str]] = None) -> Table:

@@ -28,12 +28,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from ..config import columnar_enabled
 from ..datalog.atoms import Atom, ComparisonAtom, compare_values
 from ..datalog.evaluation import FactsLike, as_fact_source
 from ..datalog.queries import ConjunctiveQuery, UnionQuery
 from ..datalog.terms import Constant, Term, Variable, is_variable
 from ..errors import EvaluationError
 from .algebra import Table, union_many
+from .columnar import (
+    ColumnTable,
+    compare_cols_mask,
+    compare_mask,
+    const_column,
+    union_distinct,
+)
+from .columnar import _mask_and as _combine_masks
 from .statistics import StatisticsCatalog, WeakStatisticsCatalog, shared_statistics
 
 Row = Tuple[object, ...]
@@ -417,15 +426,19 @@ def _scan_for_atom(atom: Atom) -> ScanNode:
 
 
 def _estimate(node: PlanNode, cost: CardinalityCostModel) -> int:
-    """A cardinality estimate used only to pick a greedy join order."""
+    """A cardinality estimate used to pick join order and join build side."""
     if isinstance(node, ScanNode):
         return cost.restriction_estimate(
             node.relation,
             tuple(position for position, _ in node.filters),
             node.equal_positions,
         )
-    if isinstance(node, JoinNode):  # pragma: no cover - not used during ordering
+    if isinstance(node, JoinNode):
         return _estimate(node.left, cost) * max(_estimate(node.right, cost), 1)
+    if isinstance(node, (SelectNode, ProjectNode, DistinctNode, MaterializeNode)):
+        return _estimate(node.children()[0], cost)
+    if isinstance(node, UnionNode):
+        return sum(_estimate(branch, cost) for branch in node.branches)
     return 1
 
 
@@ -525,33 +538,46 @@ def compile_union(
 # Execution
 # ---------------------------------------------------------------------------
 
-def _execute_scan(node: ScanNode, facts) -> Table:
-    rows = []
-    for row in facts.get_tuples(node.relation):
-        if len(row) != len(node.columns):
-            raise EvaluationError(
-                f"arity mismatch scanning {node.relation}: row width {len(row)} "
-                f"vs {len(node.columns)} plan columns"
-            )
-        if any(row[position] != value for position, value in node.filters):
-            continue
-        if any(row[i] != row[j] for i, j in node.equal_positions):
-            continue
-        rows.append(row)
-    table = Table([f"__c{i}" for i in range(len(node.columns))], rows)
-    # Project to the surviving variable columns (first occurrence of each).
+def _scan_projection(node: ScanNode) -> Tuple[List[int], List[str]]:
+    """Positions and names of the scan columns that survive projection
+    (first occurrence of each variable column)."""
     keep_positions: List[int] = []
     keep_names: List[str] = []
     for position, name in enumerate(node.columns):
         if not name.startswith("_pos") and name not in keep_names:
             keep_positions.append(position)
             keep_names.append(name)
+    return keep_positions, keep_names
+
+
+def _scan_rows(node: ScanNode, facts) -> List[Row]:
+    rows = list(facts.get_tuples(node.relation))
+    width = len(node.columns)
+    for row in rows:
+        if len(row) != width:
+            raise EvaluationError(
+                f"arity mismatch scanning {node.relation}: row width {len(row)} "
+                f"vs {width} plan columns"
+            )
+    return rows
+
+
+def _execute_scan(node: ScanNode, facts) -> Table:
+    rows = []
+    for row in _scan_rows(node, facts):
+        if any(row[position] != value for position, value in node.filters):
+            continue
+        if any(row[i] != row[j] for i, j in node.equal_positions):
+            continue
+        rows.append(row)
+    table = Table([f"__c{i}" for i in range(len(node.columns))], rows)
+    keep_positions, keep_names = _scan_projection(node)
     projected = table.project([f"__c{i}" for i in keep_positions])
     return projected.rename(dict(zip(projected.columns, keep_names)))
 
 
 def _execute_select(node: SelectNode, facts, memo=None) -> Table:
-    table = execute_plan(node.child, facts, memo=memo)
+    table = _execute_row(node.child, facts, memo)
 
     def satisfied(row: Mapping[str, object]) -> bool:
         for comparison in node.comparisons:
@@ -569,7 +595,7 @@ def _execute_select(node: SelectNode, facts, memo=None) -> Table:
 
 
 def _execute_project(node: ProjectNode, facts, memo=None) -> Table:
-    table = execute_plan(node.child, facts, memo=memo)
+    table = _execute_row(node.child, facts, memo)
     out_rows = []
     for row in table:
         named = dict(zip(table.columns, row))
@@ -580,24 +606,15 @@ def _execute_project(node: ProjectNode, facts, memo=None) -> Table:
     return Table(node.output_columns(), out_rows)
 
 
-def execute_plan(
-    node: PlanNode, facts: FactsLike, memo: Optional[Dict[str, Table]] = None
+def _execute_row(
+    node: PlanNode, source, memo: Optional[Dict[str, Table]] = None
 ) -> Table:
-    """Execute a logical plan over ``facts`` and return the result table.
-
-    ``memo`` (optional) is the shared-result dictionary consulted by
-    :class:`MaterializeNode`; pass one dictionary across several
-    ``execute_plan`` calls *over the same, unmutated fact source* to reuse
-    materialised subplans between them.  Memo keys encode plan structure
-    only, so a memo reused across different (or mutated) data would serve
-    stale tables — make one per data source.
-    """
-    source = as_fact_source(facts)
+    """The row-at-a-time execution path (one Python tuple per step)."""
     if isinstance(node, ScanNode):
         return _execute_scan(node, source)
     if isinstance(node, JoinNode):
-        return execute_plan(node.left, source, memo=memo).natural_join(
-            execute_plan(node.right, source, memo=memo))
+        return _execute_row(node.left, source, memo).natural_join(
+            _execute_row(node.right, source, memo))
     if isinstance(node, SelectNode):
         return _execute_select(node, source, memo=memo)
     if isinstance(node, ProjectNode):
@@ -608,23 +625,180 @@ def execute_plan(
         out_columns = node.output_columns()
         tables = []
         for branch in node.branches:
-            table = execute_plan(branch, source, memo=memo)
+            table = _execute_row(branch, source, memo)
             if table.columns != out_columns:
                 table = table.rename(dict(zip(table.columns, out_columns)))
             tables.append(table)
         return union_many(tables, columns=out_columns)
     if isinstance(node, DistinctNode):
-        return execute_plan(node.child, source, memo=memo).distinct()
+        return _execute_row(node.child, source, memo).distinct()
     if isinstance(node, MaterializeNode):
         if memo is None:
-            return execute_plan(node.child, source)
+            return _execute_row(node.child, source)
         table = memo.get(node.key)
         if table is None:
-            table = memo[node.key] = execute_plan(node.child, source, memo=memo)
+            table = memo[node.key] = _execute_row(node.child, source, memo)
         return table
     if isinstance(node, EmptyNode):
         return Table(node.output_columns(), [])
     raise EvaluationError(f"unknown plan node {type(node).__name__}")
+
+
+def _operand_column(ct: ColumnTable, term: Term):
+    """Resolve a comparison term against a columnar table."""
+    if isinstance(term, Constant):
+        return None, term.value
+    return ct.column(term.name), None  # type: ignore[union-attr]
+
+
+def _comparison_masks(ct: ColumnTable, comparisons) -> Optional[object]:
+    """One fused boolean mask for a tuple of comparison atoms."""
+    mask = None
+    length = len(ct)
+    for comparison in comparisons:
+        left_col, left_const = _operand_column(ct, comparison.left)
+        right_col, right_const = _operand_column(ct, comparison.right)
+        if left_col is None and right_col is None:
+            verdict = compare_values(left_const, comparison.op, right_const)
+            part = const_column(bool(verdict), length)
+        elif left_col is None:
+            # const <op> col — flip the operator onto the column side.
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+                comparison.op, comparison.op
+            )
+            part = compare_mask(right_col, flipped, left_const, length)
+        elif right_col is None:
+            part = compare_mask(left_col, comparison.op, right_const, length)
+        else:
+            part = compare_cols_mask(left_col, comparison.op, right_col, length)
+        mask = _combine_masks(mask, part)
+    return mask
+
+
+def _vectorized_build_right(
+    node: JoinNode,
+    left_ct: ColumnTable,
+    right_ct: ColumnTable,
+    cost: Optional[CardinalityCostModel],
+) -> bool:
+    """Pick the join build side: statistics when available, else actuals."""
+    if cost is not None:
+        left_est = _estimate(node.left, cost)
+        right_est = _estimate(node.right, cost)
+        if left_est != right_est:
+            return right_est < left_est
+    return len(right_ct) <= len(left_ct)
+
+
+def _execute_vectorized(
+    node: PlanNode,
+    source,
+    memo: Optional[Dict[str, Table]],
+    colmemo: Dict[str, ColumnTable],
+    cost: Optional[CardinalityCostModel],
+) -> ColumnTable:
+    """The batch execution path: every operator consumes and produces
+    :class:`ColumnTable` batches; operators with no kernel fall back to
+    the row engine node-by-node and re-lift the result."""
+    if isinstance(node, ScanNode):
+        ct = ColumnTable.from_rows(
+            tuple(f"__c{i}" for i in range(len(node.columns))),
+            _scan_rows(node, source),
+        )
+        ct = ct.fused_select(node.filters, node.equal_positions)
+        keep_positions, keep_names = _scan_projection(node)
+        return ct.project_positions(keep_positions, keep_names)
+    if isinstance(node, JoinNode):
+        left_ct = _execute_vectorized(node.left, source, memo, colmemo, cost)
+        right_ct = _execute_vectorized(node.right, source, memo, colmemo, cost)
+        return left_ct.natural_join(
+            right_ct,
+            build_right=_vectorized_build_right(node, left_ct, right_ct, cost),
+        )
+    if isinstance(node, SelectNode):
+        ct = _execute_vectorized(node.child, source, memo, colmemo, cost)
+        mask = _comparison_masks(ct, node.comparisons)
+        return ct if mask is None else ct.select_mask(mask)
+    if isinstance(node, ProjectNode):
+        ct = _execute_vectorized(node.child, source, memo, colmemo, cost)
+        out_cols = []
+        for term in node.head:
+            if is_variable(term):
+                out_cols.append(ct.column(term.name))
+            else:
+                out_cols.append(const_column(term.value, len(ct)))
+        projected = ColumnTable(node.output_columns(), out_cols, len(ct))
+        # Projection can collapse rows; the row path dedups via its set
+        # representation, so dedup explicitly here.
+        return projected.distinct()
+    if isinstance(node, UnionNode):
+        out_columns = node.output_columns()
+        branches = []
+        for branch in node.branches:
+            ct = _execute_vectorized(branch, source, memo, colmemo, cost)
+            if ct.columns != out_columns:
+                ct = ColumnTable(out_columns, ct.data, len(ct))
+            branches.append(ct)
+        return union_distinct(branches, columns=out_columns)
+    if isinstance(node, DistinctNode):
+        return _execute_vectorized(node.child, source, memo, colmemo, cost).distinct()
+    if isinstance(node, MaterializeNode):
+        ct = colmemo.get(node.key)
+        if ct is not None:
+            return ct
+        if memo is not None:
+            table = memo.get(node.key)
+            if table is not None:
+                ct = ColumnTable.from_table(table)
+                colmemo[node.key] = ct
+                return ct
+        ct = _execute_vectorized(node.child, source, memo, colmemo, cost)
+        colmemo[node.key] = ct
+        if memo is not None:
+            # The public memo contract stores row tables; keep it so memos
+            # can be shared between vectorized and row executions.
+            memo[node.key] = ct.to_table()
+        return ct
+    if isinstance(node, EmptyNode):
+        columns = node.output_columns()
+        return ColumnTable(columns, tuple([] for _ in columns), 0)
+    # Odd operators (future/theta nodes) fall back to the row engine for
+    # just this subtree and re-lift the result into a batch.
+    return ColumnTable.from_table(_execute_row(node, source, memo))
+
+
+def execute_plan(
+    node: PlanNode,
+    facts: FactsLike,
+    memo: Optional[Dict[str, Table]] = None,
+    *,
+    vectorized: Optional[bool] = None,
+    cost: Optional[CardinalityCostModel] = None,
+) -> Table:
+    """Execute a logical plan over ``facts`` and return the result table.
+
+    ``memo`` (optional) is the shared-result dictionary consulted by
+    :class:`MaterializeNode`; pass one dictionary across several
+    ``execute_plan`` calls *over the same, unmutated fact source* to reuse
+    materialised subplans between them.  Memo keys encode plan structure
+    only, so a memo reused across different (or mutated) data would serve
+    stale tables — make one per data source.
+
+    ``vectorized`` selects the execution path: ``True`` lowers the plan
+    onto the :mod:`repro.database.columnar` batch kernels, ``False`` runs
+    the row-at-a-time path, and ``None`` (default) follows the
+    ``REPRO_COLUMNAR`` knob (on unless disabled).  Both paths produce the
+    same :class:`Table`.  ``cost`` (optional) supplies
+    :class:`CardinalityCostModel` statistics so vectorized joins pick
+    their build side by estimated cardinality instead of materialised
+    size.
+    """
+    source = as_fact_source(facts)
+    if vectorized is None:
+        vectorized = columnar_enabled()
+    if vectorized:
+        return _execute_vectorized(node, source, memo, {}, cost).to_table()
+    return _execute_row(node, source, memo)
 
 
 def evaluate_query_via_plan(query: ConjunctiveQuery, facts: FactsLike) -> Set[Row]:

@@ -36,7 +36,7 @@ from ...errors import EvaluationError, PDMSConfigurationError
 from ..optimizations import ReformulationConfig
 from ..service import QueryService, ServiceStats
 from ..system import PDMS
-from ..materialization import int_from_env
+from ...config import max_inflight as _config_max_inflight
 from .engine import DistributedAnswer
 from .source import RemotePeerFactSource
 from .transport import Transport
@@ -45,10 +45,10 @@ from .transport import Transport
 def max_inflight_from_env() -> int:
     """Admission bound from ``REPRO_MAX_INFLIGHT`` (0 = unbounded).
 
-    Malformed values fail fast, like every other ``REPRO_*`` integer knob
-    (see :func:`repro.pdms.materialization.int_from_env`).
+    Malformed values fail fast, like every other ``REPRO_*`` knob —
+    delegates to the consolidated reader (:func:`repro.config.max_inflight`).
     """
-    return int_from_env("REPRO_MAX_INFLIGHT", 0)
+    return _config_max_inflight()
 
 
 #: One answered query with its completeness verdict — the same envelope

@@ -44,7 +44,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ...database.instance import Instance
 from ...errors import InstanceError, TransportError
-from ..materialization import int_from_env
+from ...config import transport_timeout_seconds as _config_transport_timeout
 from .transport import (
     RelationInfo,
     Row,
@@ -64,10 +64,10 @@ def transport_timeout_seconds() -> float:
     """RPC timeout from ``REPRO_TRANSPORT_TIMEOUT_MS`` (default 10 000 ms).
 
     ``0`` disables the timeout (block forever); malformed values raise,
-    like every other ``REPRO_*`` integer knob (see
-    :func:`repro.pdms.materialization.int_from_env`).
+    like every other ``REPRO_*`` knob — delegates to the consolidated
+    reader (:func:`repro.config.transport_timeout_seconds`).
     """
-    return int_from_env("REPRO_TRANSPORT_TIMEOUT_MS", 10_000) / 1000.0
+    return _config_transport_timeout()
 
 
 def _serve_peer(conn, instance: Instance) -> None:

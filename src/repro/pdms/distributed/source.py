@@ -44,7 +44,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...datalog.indexing import WILDCARD, Pattern
 from ...errors import MappingError, TransportError
-from ..materialization import int_from_env
+from ...config import distributed_workers as _config_distributed_workers
 from .transport import EncodedPattern, RelationInfo, Row, Transport, encode_pattern
 
 
@@ -61,9 +61,10 @@ def distributed_workers_from_env() -> int:
     """Scatter width from ``REPRO_DISTRIBUTED_WORKERS`` (0 = auto).
 
     Auto sizes the pool to the peer count (capped at 16).  Malformed
-    values fail fast like every ``REPRO_*`` integer knob.
+    values fail fast like every ``REPRO_*`` knob — delegates to the
+    consolidated reader (:func:`repro.config.distributed_workers`).
     """
-    return int_from_env("REPRO_DISTRIBUTED_WORKERS", 0)
+    return _config_distributed_workers()
 
 
 class RemotePeerFactSource:

@@ -1,7 +1,7 @@
 """Execution of reformulated queries over the peers' stored relations.
 
 The paper leaves execution to an external (adaptive) query processor; this
-module provides four interchangeable engines behind a small registry:
+module provides five interchangeable engines behind a small registry:
 
 * ``"backtracking"`` — each rewriting through the direct indexed-join
   conjunctive-query evaluator;
@@ -9,7 +9,12 @@ module provides four interchangeable engines behind a small registry:
   (the route a classical database system would take);
 * ``"shared"`` — the whole union of rewritings compiled into one shared
   union-plan DAG (:mod:`repro.pdms.planning`) with hash-consed common
-  sub-conjunctions evaluated once and an optional thread pool;
+  sub-conjunctions evaluated once and an optional worker pool; fragments
+  run on the :mod:`repro.database.columnar` batch kernels unless
+  ``REPRO_COLUMNAR=0``;
+* ``"columnar"`` — the same DAG evaluation with the batch kernels pinned
+  on regardless of ``REPRO_COLUMNAR`` (the name the CI matrix and the
+  kernel benchmarks select);
 * ``"distributed"`` — the shared union plan with every stored-relation
   scan scatter-gathered over a peer-boundary transport
   (:mod:`repro.pdms.distributed`), degrading to best-effort sound-subset
@@ -161,14 +166,26 @@ class SharedPlanEngine:
 
     Common sub-conjunctions across rewritings are computed once per call;
     ``max_workers`` (or ``REPRO_SHARED_WORKERS``) evaluates independent
-    rewriting roots on a thread pool.
+    rewriting roots on a worker pool (thread or process, per
+    ``REPRO_SHARED_EXECUTOR``).  ``columnar`` pins the fragment
+    representation: ``True`` always runs the
+    :mod:`repro.database.columnar` batch kernels, ``False`` always the
+    row path, ``None`` (the stock ``"shared"`` engine) follows the
+    ``REPRO_COLUMNAR`` knob — on by default, so ``"shared"`` uses the
+    kernels under the hood unless explicitly disabled.
     """
 
     uses_plans = True
 
-    def __init__(self, name: str = "shared", max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        name: str = "shared",
+        max_workers: Optional[int] = None,
+        columnar: Optional[bool] = None,
+    ):
         self.name = name
         self._max_workers = max_workers
+        self._columnar = columnar
 
     def stream(
         self,
@@ -189,7 +206,9 @@ class SharedPlanEngine:
                 "the supplied union plan was compiled for a different "
                 "reformulation result"
             )
-        return stream_plan_answers(plan, data, max_workers=workers, cache=cache)
+        return stream_plan_answers(
+            plan, data, max_workers=workers, cache=cache, columnar=self._columnar
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SharedPlanEngine({self.name!r})"
@@ -608,3 +627,7 @@ def answer_query_batch(
 register_engine(PerRewritingEngine("backtracking", evaluate_query))
 register_engine(PerRewritingEngine("plan", evaluate_query_via_plan))
 register_engine(SharedPlanEngine("shared"))
+# Same DAG evaluation as "shared", but the batch kernels are pinned on —
+# the engine the CI matrix and the kernel benchmarks select by name,
+# immune to REPRO_COLUMNAR.
+register_engine(SharedPlanEngine("columnar", columnar=True))

@@ -34,7 +34,6 @@ service layer's provenance signals) is memory hygiene, not correctness.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from collections import OrderedDict
@@ -42,6 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..database.algebra import Table
+from ..database.columnar import ColumnTable
 from ..database.statistics import source_data_version
 from ..errors import EvaluationError
 
@@ -57,24 +57,10 @@ _MISS_TRACKING_LIMIT = 4096
 # Environment handling (fail fast on malformed values)
 # ---------------------------------------------------------------------------
 
-def int_from_env(name: str, default: int, minimum: int = 0) -> int:
-    """Read an integer from the environment, failing fast when malformed.
-
-    Mirrors the fail-fast treatment of ``REPRO_DEFAULT_ENGINE``: a
-    non-integer or below-minimum value raises :class:`EvaluationError` at
-    the first call that reads it, with the offending value spelled out —
-    never a silent fallback that hides a typo'd deployment knob.
-    """
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise EvaluationError(f"{name}={raw!r} is not an integer") from None
-    if value < minimum:
-        raise EvaluationError(f"{name}={raw!r} must be >= {minimum}")
-    return value
+# Re-exported from the consolidated knob module (every subsystem used to
+# carry its own drifting copy of this parser); existing importers of
+# ``repro.pdms.materialization.int_from_env`` keep working.
+from ..config import int_from_env  # noqa: E402  (re-export)
 
 
 def fragment_cache_from_env() -> Optional["FragmentCache"]:
@@ -82,7 +68,8 @@ def fragment_cache_from_env() -> Optional["FragmentCache"]:
 
     Unset uses :data:`DEFAULT_FRAGMENT_CACHE_BYTES`; ``0`` disables
     cross-call fragment caching entirely (returns ``None``); malformed
-    values raise :class:`EvaluationError` (see :func:`int_from_env`).
+    values raise :class:`EvaluationError` (see
+    :func:`repro.config.int_from_env`).
     """
     budget = int_from_env(
         "REPRO_FRAGMENT_CACHE_BYTES", DEFAULT_FRAGMENT_CACHE_BYTES
@@ -117,11 +104,15 @@ def data_version_token(
 def estimate_result_bytes(value: object) -> int:
     """A deterministic O(1) footprint estimate of a cached result.
 
-    Accepts a :class:`Table` or any sized collection of equal-width row
+    Accepts a :class:`Table`, a
+    :class:`~repro.database.columnar.ColumnTable` (which knows its own
+    column-storage footprint), or any sized collection of equal-width row
     tuples.  Charges the tuple skeleton plus one pointer per cell; cell
     payloads are shared with the base data, so they are deliberately not
     charged twice.
     """
+    if isinstance(value, ColumnTable):
+        return value.estimated_bytes()
     rows = value.rows if isinstance(value, Table) else value
     count = len(rows)  # type: ignore[arg-type]
     width = len(next(iter(rows))) if count else 0  # type: ignore[arg-type]

@@ -61,7 +61,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from ..config import columnar_enabled, shared_executor
+from ..config import shared_workers as _config_shared_workers
 from ..database.algebra import Table
+from ..database.columnar import ColumnTable, compare_cols_mask, compare_mask
+from ..database.columnar import _mask_and as _combine_masks
+from ..database.columnar import _pylist
 from ..database.planner import CardinalityCostModel
 from ..datalog.atoms import Atom, compare_values
 from ..datalog.evaluation import FactsLike, as_fact_source
@@ -69,7 +74,7 @@ from ..datalog.indexing import WILDCARD, ensure_indexed
 from ..datalog.queries import ConjunctiveQuery
 from ..datalog.terms import Variable, is_variable
 from ..errors import EvaluationError
-from .materialization import FragmentCache, data_version_token, int_from_env
+from .materialization import FragmentCache, data_version_token
 from .reformulation import ReformulationResult, _LazySeq
 
 Row = Tuple[object, ...]
@@ -797,6 +802,31 @@ def _scan_table(node: ScanFragment, source) -> Table:
     return Table(node.columns, rows)
 
 
+def _scan_columnar(node: ScanFragment, source) -> ColumnTable:
+    """Columnar scan: transpose matching rows once, filter and project in
+    batch.  This is the only transpose of the columnar fragment pipeline —
+    everything above stays column-wise."""
+    try:
+        candidates = source.get_matching(node.relation, node.pattern)
+    except ValueError as exc:
+        raise EvaluationError(f"relation {node.relation!r}: {exc}") from exc
+    # Dedup like the row path's frozenset (federated sources may serve the
+    # same fact from several peers); fragments above preserve distinctness.
+    rows = list(dict.fromkeys(candidates))
+    width = len(node.pattern)
+    ct = ColumnTable.from_rows(tuple(f"__p{i}" for i in range(width)), rows)
+    ct = ct.fused_select(equal_pairs=node.equal_positions)
+    return ct.project_positions(node.keep_positions, node.columns)
+
+
+def _as_row_table(value) -> Table:
+    return value.to_table() if isinstance(value, ColumnTable) else value
+
+
+def _as_columnar(value) -> ColumnTable:
+    return value if isinstance(value, ColumnTable) else ColumnTable.from_table(value)
+
+
 def _worth_caching(node: PlanFragment) -> bool:
     """Is a fragment's table worth offering to the cross-call cache?
 
@@ -812,26 +842,45 @@ def _worth_caching(node: PlanFragment) -> bool:
     )
 
 
+def _join_fragment_tables(node: JoinFragment, left, right):
+    """Rename/join/project two child tables under a join fragment.
+
+    ``left``/``right`` are either both :class:`Table` or both
+    :class:`ColumnTable` — the operator surface is identical, so one
+    helper serves the row path, the columnar path, and the process-pool
+    workers."""
+    if node.left_rename:
+        left = left.rename(dict(node.left_rename))
+    joined = left.natural_join(right.rename(dict(node.right_rename)))
+    return joined.project(node.columns)
+
+
 def _fragment_table(
     plan: UnionPlan,
     key: str,
     source,
     memo: _OnceMap,
     cache: Optional[FragmentCache] = None,
-) -> Table:
+    columnar: bool = False,
+):
+    """The table of fragment ``key``: a :class:`ColumnTable` in columnar
+    mode, a row :class:`Table` otherwise.
+
+    Memo and cross-call cache entries store whichever representation the
+    computing call ran in; readers coerce on the way out, so a cache
+    shared between modes stays correct (at a one-off conversion cost)."""
     node = plan.nodes[key]
 
-    def build() -> Table:
+    def build():
         if isinstance(node, ScanFragment):
+            if columnar:
+                return _scan_columnar(node, source)
             return _scan_table(node, source)
-        left = _fragment_table(plan, node.left_key, source, memo, cache)
-        right = _fragment_table(plan, node.right_key, source, memo, cache)
-        if node.left_rename:
-            left = left.rename(dict(node.left_rename))
-        joined = left.natural_join(right.rename(dict(node.right_rename)))
-        return joined.project(node.columns)
+        left = _fragment_table(plan, node.left_key, source, memo, cache, columnar)
+        right = _fragment_table(plan, node.right_key, source, memo, cache, columnar)
+        return _join_fragment_tables(node, left, right)
 
-    def compute() -> Table:
+    def compute():
         if cache is not None and _worth_caching(node):
             relations = plan.fragment_relations(key)
             token = data_version_token(source, relations)
@@ -839,17 +888,49 @@ def _fragment_table(
                 return cache.get_or_compute(key, token, relations, build)
         return build()
 
-    return memo.get_or_compute(key, compute)
+    value = memo.get_or_compute(key, compute)
+    return _as_columnar(value) if columnar else _as_row_table(value)
 
 
-def _evaluate_rewriting_plan(
-    plan: UnionPlan,
-    rewriting_plan: RewritingPlan,
-    source,
-    memo: _OnceMap,
-    cache: Optional[FragmentCache] = None,
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _columnar_root_answers(
+    ct: ColumnTable, rewriting_plan: RewritingPlan
 ) -> Set[Row]:
-    table = _fragment_table(plan, rewriting_plan.root_key, source, memo, cache)
+    """Comparisons + head projection of one rewriting root, in batch."""
+    mask = None
+    for left, op, right in rewriting_plan.comparisons:
+        (lkind, lpayload), (rkind, rpayload) = left, right
+        if lkind == "col" and rkind == "col":
+            part = compare_cols_mask(
+                ct.column(lpayload), op, ct.column(rpayload), len(ct)
+            )
+        elif lkind == "col":
+            part = compare_mask(ct.column(lpayload), op, rpayload, len(ct))
+        elif rkind == "col":
+            part = compare_mask(
+                ct.column(rpayload), _FLIPPED_OPS.get(op, op), lpayload, len(ct)
+            )
+        else:
+            if compare_values(lpayload, op, rpayload):
+                continue
+            return set()
+        mask = _combine_masks(mask, part)
+    if mask is not None:
+        ct = ct.select_mask(mask)
+    if not rewriting_plan.head:
+        return {()} if len(ct) else set()
+    out_cols = []
+    for kind, payload in rewriting_plan.head:
+        if kind == "col":
+            out_cols.append(_pylist(ct.column(payload)))
+        else:
+            out_cols.append([payload] * len(ct))
+    return set(zip(*out_cols))
+
+
+def _row_root_answers(table: Table, rewriting_plan: RewritingPlan) -> Set[Row]:
     index = {column: i for i, column in enumerate(table.columns)}
 
     def value(row: Row, operand: Operand) -> object:
@@ -866,16 +947,78 @@ def _evaluate_rewriting_plan(
     return answers
 
 
+def _evaluate_rewriting_plan(
+    plan: UnionPlan,
+    rewriting_plan: RewritingPlan,
+    source,
+    memo: _OnceMap,
+    cache: Optional[FragmentCache] = None,
+    columnar: Optional[bool] = None,
+) -> Set[Row]:
+    if columnar is None:
+        columnar = columnar_enabled()
+    table = _fragment_table(
+        plan, rewriting_plan.root_key, source, memo, cache, columnar
+    )
+    if columnar:
+        return _columnar_root_answers(table, rewriting_plan)
+    return _row_root_answers(table, rewriting_plan)
+
+
 def shared_workers_from_env() -> int:
     """Worker count for the shared engine from ``REPRO_SHARED_WORKERS``.
 
     ``0`` (the default) means sequential in-thread execution; a
     non-integer or negative value raises :class:`EvaluationError` at call
-    time (fail fast, like an unknown engine name — see
-    :func:`repro.pdms.materialization.int_from_env`, which gives every
-    ``REPRO_*`` integer knob the same treatment).
+    time (fail fast, like an unknown engine name).  Delegates to the
+    consolidated knob module (:func:`repro.config.shared_workers`), which
+    gives every ``REPRO_*`` knob the same treatment.
     """
-    return int_from_env("REPRO_SHARED_WORKERS", 0)
+    return _config_shared_workers()
+
+
+def _collect_subplan(plan: UnionPlan, root_key: str) -> Dict[str, PlanFragment]:
+    """The fragment nodes reachable from ``root_key`` (a picklable dict)."""
+    nodes: Dict[str, PlanFragment] = {}
+    stack = [root_key]
+    while stack:
+        key = stack.pop()
+        if key in nodes:
+            continue
+        node = plan.nodes[key]
+        nodes[key] = node
+        if isinstance(node, JoinFragment):
+            stack.append(node.left_key)
+            stack.append(node.right_key)
+    return nodes
+
+
+def _evaluate_payload(payload) -> Set[Row]:
+    """Process-pool worker: joins + comparisons + head for one root.
+
+    ``payload`` carries the root's fragment subgraph, the pre-evaluated
+    scan tables (the parent evaluates scans against the live source, which
+    never crosses the process boundary), the rewriting root, and the
+    representation flag.  Runs in a worker process — everything it touches
+    must stay picklable, which :class:`ColumnTable` (``__reduce__``) and
+    the frozen fragment dataclasses are.
+    """
+    nodes, rewriting_plan, scans, columnar = payload
+    memo: Dict[str, object] = dict(scans)
+
+    def table_of(key: str):
+        value = memo.get(key)
+        if value is None:
+            node = nodes[key]
+            value = memo[key] = _join_fragment_tables(
+                node, table_of(node.left_key), table_of(node.right_key)
+            )
+        return value
+
+    root = table_of(rewriting_plan.root_key)
+    if columnar:
+        return _columnar_root_answers(_as_columnar(root), rewriting_plan)
+    return _row_root_answers(_as_row_table(root), rewriting_plan)
 
 
 def stream_plan_answers(
@@ -883,16 +1026,30 @@ def stream_plan_answers(
     data: FactsLike,
     max_workers: Optional[int] = None,
     cache: Optional[FragmentCache] = None,
+    columnar: Optional[bool] = None,
+    executor: Optional[str] = None,
 ) -> Iterator[Row]:
     """Yield distinct answer rows of the union plan as fragments evaluate.
 
     Sequentially (``max_workers`` 0/None/1), rewriting roots are evaluated
     in enumeration order and shared fragments are served from the per-call
     memo.  With ``max_workers`` > 1, up to that many rewriting roots are
-    evaluated concurrently on a thread pool (a bounded window keeps the
-    first-k contract: abandoning the iterator cancels unstarted work).
-    Answers are identical either way — only completion order differs, and
-    the dedup set makes the yielded row set equal.
+    evaluated concurrently (a bounded window keeps the first-k contract:
+    abandoning the iterator cancels unstarted work).  Answers are
+    identical either way — only completion order differs, and the dedup
+    set makes the yielded row set equal.
+
+    ``columnar`` selects the fragment representation (``None`` follows
+    ``REPRO_COLUMNAR``): column-wise batches run the
+    :mod:`repro.database.columnar` kernels, whose NumPy ops release the
+    GIL — the thread-pooled path then scales on multicore.  ``executor``
+    (``"thread"``/``"process"``; ``None`` follows ``REPRO_SHARED_EXECUTOR``)
+    picks the worker pool: with ``"process"``, the parent evaluates each
+    root's *scans* (they need the live source) and ships the join tree to
+    worker processes, so even the pure-Python kernel fallback scales with
+    cores — at the price of per-task serialisation and no cross-root join
+    sharing (join fragments are rebuilt per task; scans still share the
+    parent-side memo and cache).
 
     ``cache`` (optional) is a cross-call
     :class:`~repro.pdms.materialization.FragmentCache`: fragment tables
@@ -903,21 +1060,54 @@ def stream_plan_answers(
     source = ensure_indexed(as_fact_source(data))
     memo = _OnceMap()
     seen: Set[Row] = set()
+    if columnar is None:
+        columnar = columnar_enabled()
     if not max_workers or max_workers <= 1:
         for rewriting_plan in plan.fragments():
             for row in _evaluate_rewriting_plan(
-                plan, rewriting_plan, source, memo, cache
+                plan, rewriting_plan, source, memo, cache, columnar
             ):
                 if row not in seen:
                     seen.add(row)
                     yield row
         return
 
-    from concurrent.futures import ThreadPoolExecutor
+    if executor is None:
+        executor = shared_executor()
+    if executor == "process":
+        from concurrent.futures import ProcessPoolExecutor
 
-    executor = ThreadPoolExecutor(
-        max_workers=max_workers, thread_name_prefix="repro-shared"
-    )
+        def submit_process(pool, rewriting_plan):
+            nodes = _collect_subplan(plan, rewriting_plan.root_key)
+            scans = {
+                key: _fragment_table(plan, key, source, memo, cache, columnar)
+                for key, node in nodes.items()
+                if isinstance(node, ScanFragment)
+            }
+            return pool.submit(
+                _evaluate_payload, (nodes, rewriting_plan, scans, columnar)
+            )
+
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        submit = submit_process
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        def submit_thread(pool, rewriting_plan):
+            return pool.submit(
+                _evaluate_rewriting_plan,
+                plan,
+                rewriting_plan,
+                source,
+                memo,
+                cache,
+                columnar,
+            )
+
+        pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-shared"
+        )
+        submit = submit_thread
     try:
         window: deque = deque()
         fragment_iter = plan.fragments()
@@ -930,16 +1120,7 @@ def stream_plan_answers(
                 except StopIteration:
                     exhausted = True
                     break
-                window.append(
-                    executor.submit(
-                        _evaluate_rewriting_plan,
-                        plan,
-                        rewriting_plan,
-                        source,
-                        memo,
-                        cache,
-                    )
-                )
+                window.append(submit(pool, rewriting_plan))
             if not window:
                 return
             for row in window.popleft().result():
@@ -947,7 +1128,7 @@ def stream_plan_answers(
                     seen.add(row)
                     yield row
     finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def evaluate_plan(
@@ -956,6 +1137,8 @@ def evaluate_plan(
     limit: Optional[int] = None,
     max_workers: Optional[int] = None,
     cache: Optional[FragmentCache] = None,
+    columnar: Optional[bool] = None,
+    executor: Optional[str] = None,
 ) -> Set[Row]:
     """Evaluate the whole union plan (or the first ``limit`` answers)."""
     if limit is not None and limit < 0:
@@ -963,7 +1146,14 @@ def evaluate_plan(
     answers: Set[Row] = set()
     if limit == 0:
         return answers
-    for row in stream_plan_answers(plan, data, max_workers=max_workers, cache=cache):
+    for row in stream_plan_answers(
+        plan,
+        data,
+        max_workers=max_workers,
+        cache=cache,
+        columnar=columnar,
+        executor=executor,
+    ):
         answers.add(row)
         if limit is not None and len(answers) >= limit:
             break

@@ -37,7 +37,7 @@ COMMON = dict(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
 )
 
-ALL_ENGINES = ("backtracking", "plan", "shared", "distributed")
+ALL_ENGINES = ("backtracking", "plan", "shared", "columnar", "distributed")
 
 
 def _oracle(pdms, query, data):

@@ -35,7 +35,7 @@ COMMON = dict(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
 )
 
-ENGINES = ("backtracking", "plan", "shared")
+ENGINES = ("backtracking", "plan", "shared", "columnar")
 
 
 def _apply_mutation(op, spec, data):

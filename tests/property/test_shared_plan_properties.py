@@ -3,7 +3,8 @@
 The central invariant, over random small PDMSs from
 :mod:`tests.property.strategies`:
 
-    ``backtracking`` ≡ ``plan`` ≡ ``shared`` (sequential *and* parallel)
+    ``backtracking`` ≡ ``plan`` ≡ ``shared`` ≡ ``columnar``
+    (sequential, thread-parallel, *and* process-parallel)
 
 i.e. compiling the union of rewritings into a common-subplan DAG — and
 evaluating its fragments on a thread pool — never changes the answer set,
@@ -35,17 +36,29 @@ COMMON = dict(
 class TestEngineEquivalence:
     @given(spec=pdms_specs())
     @settings(max_examples=40, **COMMON)
-    def test_three_engines_agree(self, spec):
+    def test_engines_agree(self, spec):
         pdms, data, queries = build_pdms(spec)
         combined = combine_peer_instances(data)
         for query in queries:
             result = reformulate(pdms, query)
             backtracking = evaluate_reformulation(
                 result, combined, engine="backtracking")
-            assert evaluate_reformulation(result, combined, engine="plan") == \
-                backtracking
-            assert evaluate_reformulation(result, combined, engine="shared") == \
-                backtracking
+            for engine in ("plan", "shared", "columnar"):
+                assert evaluate_reformulation(
+                    result, combined, engine=engine) == backtracking
+
+    @given(spec=pdms_specs())
+    @settings(max_examples=25, **COMMON)
+    def test_columnar_and_row_fragments_agree(self, spec):
+        """The batch-kernel fragment path is value-identical to the row
+        path over the same compiled plan."""
+        pdms, data, queries = build_pdms(spec)
+        combined = combine_peer_instances(data)
+        for query in queries:
+            result = reformulate(pdms, query)
+            plan = compile_reformulation(result, combined)
+            assert evaluate_plan(plan, combined, columnar=True) == \
+                evaluate_plan(plan, combined, columnar=False)
 
     @given(spec=pdms_specs())
     @settings(max_examples=25, **COMMON)
@@ -58,6 +71,21 @@ class TestEngineEquivalence:
             sequential = evaluate_plan(plan, combined)
             parallel = evaluate_plan(plan, combined, max_workers=2)
             assert parallel == sequential
+
+    @given(spec=pdms_specs())
+    @settings(max_examples=10, **COMMON)
+    def test_process_pool_execution_agrees_with_sequential(self, spec):
+        """The process-pool backend — scans parent-side, joins shipped to
+        worker processes — returns the same answer set."""
+        pdms, data, queries = build_pdms(spec)
+        combined = combine_peer_instances(data)
+        for query in queries:
+            result = reformulate(pdms, query)
+            plan = compile_reformulation(result, combined)
+            sequential = evaluate_plan(plan, combined)
+            processed = evaluate_plan(
+                plan, combined, max_workers=2, executor="process")
+            assert processed == sequential
             assert sequential == evaluate_reformulation(
                 result, combined, engine="backtracking")
 
@@ -69,7 +97,7 @@ class TestEngineEquivalence:
         federated = PeerFactSource(data)
         for query in queries:
             result = reformulate(pdms, query)
-            for engine in ("backtracking", "plan", "shared"):
+            for engine in ("backtracking", "plan", "shared", "columnar"):
                 assert evaluate_reformulation(result, federated, engine=engine) == \
                     evaluate_reformulation(result, combined, engine=engine)
 

@@ -1,0 +1,327 @@
+"""Unit tests for the columnar batch-execution layer (ISSUE 6).
+
+Covers the :class:`~repro.database.columnar.ColumnTable` kernels (join,
+fused select, project/rename, distinct, union, comparison masks) against
+the row algebra as oracle, the dtype-sniffing edge cases that force the
+pure-Python fallback (mixed dtypes, NaN, big integers, NumPy absent), the
+vectorized planner mode, and the process-pool / REPRO_* knob plumbing.
+"""
+
+import random
+
+import pytest
+
+from repro.config import columnar_enabled, shared_executor
+from repro.database.algebra import Table
+from repro.database import columnar
+from repro.database.columnar import (
+    ColumnTable,
+    compare_cols_mask,
+    compare_mask,
+    join_indices,
+    union_all,
+    union_distinct,
+)
+from repro.database.planner import (
+    CardinalityCostModel,
+    compile_query,
+    compile_union,
+    execute_plan,
+)
+from repro.database.instance import Instance
+from repro.datalog.parser import parse_query
+from repro.datalog.queries import UnionQuery
+from repro.errors import EvaluationError
+from repro.pdms.materialization import estimate_result_bytes
+
+
+def as_rows(ct: ColumnTable):
+    return ct.row_set()
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Force every kernel onto the pure-Python fallback path."""
+    monkeypatch.setattr(columnar, "np", None)
+
+
+class TestConversions:
+    def test_round_trip_preserves_rows_and_columns(self):
+        table = Table(("a", "b"), [(1, "x"), (2, "y"), (3, "z")])
+        ct = ColumnTable.from_table(table)
+        assert ct.columns == table.columns
+        assert len(ct) == 3
+        back = ct.to_table()
+        assert back.columns == table.columns
+        assert back.rows == table.rows
+
+    def test_empty_and_zero_width_tables(self):
+        empty = ColumnTable.from_rows(("a",), [])
+        assert len(empty) == 0
+        assert as_rows(empty) == set()
+        nullary = ColumnTable.from_rows((), [(), (), ()])
+        assert as_rows(nullary) == {()}
+        assert nullary.to_table().rows == frozenset({()})
+
+    def test_numeric_columns_use_numpy_but_hand_back_python_values(self):
+        if columnar.np is None:
+            pytest.skip("NumPy not installed")
+        ct = ColumnTable.from_rows(("a",), [(1,), (2,)])
+        assert isinstance(ct.data[0], columnar.np.ndarray)
+        for row in ct.row_set():
+            assert type(row[0]) is int
+
+    def test_dtype_sniffing_fallbacks(self):
+        cases = [
+            [(2 ** 70,), (1,)],          # beyond int64
+            [(1.5,), (float("nan"),)],   # NaN poisons the float path
+            [(1,), ("x",)],              # mixed kinds
+            [(None,), (None,)],          # non-numeric
+            [(True,), (False,)],         # pure bool stays Python bool
+        ]
+        for rows in cases:
+            ct = ColumnTable.from_rows(("a",), rows)
+            assert isinstance(ct.data[0], list)
+        # NaN identity semantics survive the fallback exactly like a set's.
+        nan = float("nan")
+        ct = ColumnTable.from_rows(("a",), [(nan,), (1.0,)])
+        assert as_rows(ct) == {(nan,), (1.0,)}
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        ct = ColumnTable.from_rows(("a", "b"), [(1, "x"), (2, "y")])
+        clone = pickle.loads(pickle.dumps(ct))
+        assert clone.columns == ct.columns
+        assert as_rows(clone) == as_rows(ct)
+
+    def test_estimated_bytes_feeds_cache_sizing(self):
+        ct = ColumnTable.from_rows(("a", "b"), [(i, str(i)) for i in range(100)])
+        assert estimate_result_bytes(ct) == ct.estimated_bytes() > 0
+
+
+class TestJoinKernel:
+    def randomized_tables(self, seed, values):
+        rng = random.Random(seed)
+        left = Table(
+            ("a", "b"),
+            {(rng.choice(values), rng.choice(values)) for _ in range(30)},
+        )
+        right = Table(
+            ("b", "c"),
+            {(rng.choice(values), rng.choice(values)) for _ in range(30)},
+        )
+        return left, right
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_join_matches_row_engine_on_ints(self, seed):
+        left, right = self.randomized_tables(seed, list(range(6)))
+        expected = left.natural_join(right)
+        got = ColumnTable.from_table(left).natural_join(
+            ColumnTable.from_table(right))
+        assert got.columns == expected.columns
+        assert as_rows(got) == set(expected.rows)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_join_matches_row_engine_on_mixed_values(self, seed):
+        values = [0, 1, "x", "y", 2.5, True, 2 ** 70]
+        left, right = self.randomized_tables(seed, values)
+        expected = left.natural_join(right)
+        got = ColumnTable.from_table(left).natural_join(
+            ColumnTable.from_table(right))
+        assert as_rows(got) == set(expected.rows)
+
+    def test_multi_column_keys(self):
+        left = Table(("a", "b", "c"), [(1, 2, 9), (1, 3, 8), (2, 2, 7)])
+        right = Table(("a", "b", "d"), [(1, 2, "u"), (2, 2, "v"), (3, 3, "w")])
+        expected = left.natural_join(right)
+        got = ColumnTable.from_table(left).natural_join(
+            ColumnTable.from_table(right))
+        assert got.columns == expected.columns
+        assert as_rows(got) == set(expected.rows)
+
+    def test_empty_side_yields_empty(self):
+        left = ColumnTable.from_rows(("a", "b"), [(1, 2)])
+        right = ColumnTable.from_rows(("b", "c"), [])
+        assert len(left.natural_join(right)) == 0
+        assert len(right.natural_join(left)) == 0
+
+    def test_disjoint_columns_cross_product(self):
+        left = ColumnTable.from_rows(("a",), [(1,), (2,)])
+        right = ColumnTable.from_rows(("b",), [("x",), ("y",)])
+        assert as_rows(left.natural_join(right)) == {
+            (1, "x"), (1, "y"), (2, "x"), (2, "y")}
+
+    def test_build_side_override_changes_nothing_observable(self):
+        left = Table(("a", "b"), [(i, i % 3) for i in range(10)])
+        right = Table(("b", "c"), [(i % 3, i) for i in range(4)])
+        lct, rct = ColumnTable.from_table(left), ColumnTable.from_table(right)
+        assert as_rows(lct.natural_join(rct, build_right=True)) == \
+            as_rows(lct.natural_join(rct, build_right=False))
+
+    def test_int_float_cross_dtype_joins_exactly(self):
+        # 2**53 + 1 is where float64 loses integer exactness; Python
+        # equality stays exact, so the kernel must not cast.
+        big = 2 ** 53 + 1
+        left = Table(("k", "l"), [(big, 1), (2, 2)])
+        right = Table(("k", "r"), [(float(big), "f"), (2.0, "g")])
+        expected = left.natural_join(right)
+        got = ColumnTable.from_table(left).natural_join(
+            ColumnTable.from_table(right))
+        assert as_rows(got) == set(expected.rows)
+
+    def test_join_indices_shape(self):
+        li, ri = join_indices(
+            [ColumnTable.from_rows(("k",), [(1,), (2,)]).data[0]],
+            [ColumnTable.from_rows(("k",), [(2,), (2,)]).data[0]],
+            2,
+            2,
+        )
+        assert len(li) == len(ri) == 2
+
+
+class TestSelectProjectDistinctUnion:
+    def test_fused_select_matches_row_filters(self):
+        rows = [(i % 4, i % 3, i % 4) for i in range(24)]
+        table = Table(("x", "y", "z"), rows)
+        ct = ColumnTable.from_table(table)
+        expected = table.select_eq("x", 1).select_columns_equal("x", "z")
+        got = ct.fused_select(const_filters=[(0, 1)], equal_pairs=[(0, 2)])
+        assert as_rows(got) == set(expected.rows)
+
+    def test_project_positions_is_zero_copy(self):
+        ct = ColumnTable.from_rows(("a", "b"), [(1, 2), (3, 4)])
+        projected = ct.project_positions((1,), ("bb",))
+        assert projected.data[0] is ct.data[1]
+        assert projected.columns == ("bb",)
+
+    def test_rename_is_zero_copy(self):
+        ct = ColumnTable.from_rows(("a", "b"), [(1, 2)])
+        renamed = ct.rename({"a": "aa"})
+        assert renamed.columns == ("aa", "b")
+        assert renamed.data[0] is ct.data[0]
+
+    def test_distinct_numeric_and_object_paths(self):
+        dup_rows = [(1, "x"), (1, "x"), (2, "y")]
+        ct = ColumnTable.from_rows(("a", "b"), dup_rows)
+        assert len(ct) == 3
+        assert len(ct.distinct()) == 2
+        numeric = ColumnTable.from_rows(("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        assert len(numeric.distinct()) == 2
+
+    def test_union_all_and_distinct(self):
+        first = ColumnTable.from_rows(("a",), [(1,), (2,)])
+        second = ColumnTable.from_rows(("a",), [(2,), (3,)])
+        assert len(union_all([first, second])) == 4
+        assert as_rows(union_distinct([first, second])) == {(1,), (2,), (3,)}
+        empty = union_distinct([], columns=("a",))
+        assert len(empty) == 0 and empty.columns == ("a",)
+        with pytest.raises(EvaluationError):
+            union_all([])
+        with pytest.raises(EvaluationError):
+            union_all([first, ColumnTable.from_rows(("b",), [(1,)])])
+
+    def test_union_of_mixed_storage_columns(self):
+        numeric = ColumnTable.from_rows(("a",), [(1,), (2,)])
+        textual = ColumnTable.from_rows(("a",), [("x",)])
+        assert as_rows(union_all([numeric, textual])) == {(1,), (2,), ("x",)}
+
+
+class TestComparisonMasks:
+    def test_numeric_and_fallback_semantics_match_compare_values(self):
+        from repro.datalog.atoms import compare_values
+
+        values = [0, 1, 3, 2 ** 54, -5]
+        consts = [1, 2.5, float(2 ** 54), "x", True]
+        ct = ColumnTable.from_rows(("a",), [(v,) for v in values])
+        col = ct.data[0]
+        stored = [row[0] for row in ct.iter_rows()]
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            for const in consts:
+                mask = list(compare_mask(col, op, const, len(ct)))
+                expected = [compare_values(v, op, const) for v in stored]
+                assert mask == expected, (op, const)
+
+    def test_column_vs_column_masks(self):
+        ct = ColumnTable.from_rows(
+            ("a", "b"), [(1, 1), (2, 3), (4, 2.0), (5, "x")])
+        mask = list(compare_cols_mask(ct.data[0], "=", ct.data[1], len(ct)))
+        stored = list(ct.iter_rows())
+        assert mask == [a == b for a, b in stored]
+
+
+class TestPurePythonFallback:
+    def test_kernels_without_numpy(self, no_numpy):
+        left = Table(("a", "b"), [(1, 2), (3, 4), (5, 2)])
+        right = Table(("b", "c"), [(2, "x"), (4, "y")])
+        lct = ColumnTable.from_table(left)
+        rct = ColumnTable.from_table(right)
+        assert isinstance(lct.data[0], list)
+        joined = lct.natural_join(rct)
+        assert as_rows(joined) == set(left.natural_join(right).rows)
+        assert len(joined.distinct()) == len(joined)
+        assert as_rows(lct.fused_select(const_filters=[(0, 1)])) == {(1, 2)}
+        mask = compare_mask(lct.data[0], ">", 2, len(lct))
+        assert list(mask) == [v > 2 for v, _ in lct.iter_rows()]
+        assert as_rows(union_distinct([lct, lct])) == set(left.rows)
+
+
+def build_instance():
+    return Instance.from_dict({
+        "r": [(i, i % 5) for i in range(50)],
+        "s": [(i % 5, i % 7) for i in range(40)],
+    })
+
+
+class TestVectorizedPlanner:
+    def test_vectorized_and_row_paths_agree(self):
+        instance = build_instance()
+        query = parse_query("Q(x, z) :- r(x, y), s(y, z), y > 1")
+        plan = compile_query(query, instance)
+        vectorized = execute_plan(plan, instance, vectorized=True)
+        row = execute_plan(plan, instance, vectorized=False)
+        assert vectorized.columns == row.columns
+        assert vectorized.rows == row.rows
+
+    def test_union_plan_with_shared_memo(self):
+        instance = build_instance()
+        union = UnionQuery([
+            parse_query("Q(x) :- r(x, y)"),
+            parse_query("Q(x) :- s(x, y)"),
+        ])
+        plan = compile_union(union, instance, share_common=True)
+        memo: dict = {}
+        vectorized = execute_plan(plan, instance, memo, vectorized=True)
+        assert all(isinstance(value, Table) for value in memo.values())
+        assert vectorized.rows == execute_plan(
+            plan, instance, {}, vectorized=False).rows
+
+    def test_cost_model_steers_build_side_without_changing_answers(self):
+        instance = build_instance()
+        query = parse_query("Q(x, z) :- r(x, y), s(y, z)")
+        cost = CardinalityCostModel(instance)
+        plan = compile_query(query, cost=cost)
+        assert execute_plan(plan, instance, vectorized=True, cost=cost).rows \
+            == execute_plan(plan, instance, vectorized=False).rows
+
+    def test_knob_selects_default_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        assert columnar_enabled() is False
+        monkeypatch.setenv("REPRO_COLUMNAR", "1")
+        assert columnar_enabled() is True
+        monkeypatch.setenv("REPRO_COLUMNAR", "yes")
+        with pytest.raises(EvaluationError):
+            columnar_enabled()
+
+    def test_executor_knob_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARED_EXECUTOR", "fibers")
+        with pytest.raises(EvaluationError) as excinfo:
+            shared_executor()
+        assert "REPRO_SHARED_EXECUTOR" in str(excinfo.value)
+
+    def test_vectorized_planner_without_numpy(self, no_numpy):
+        instance = build_instance()
+        query = parse_query("Q(x, z) :- r(x, y), s(y, z), y != 2")
+        plan = compile_query(query, instance)
+        assert execute_plan(plan, instance, vectorized=True).rows == \
+            execute_plan(plan, instance, vectorized=False).rows

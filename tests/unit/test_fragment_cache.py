@@ -220,7 +220,7 @@ class TestCachedExecution:
     def test_warm_answers_equal_cold_for_every_engine(self):
         pdms, query, instance = _two_hop_pdms()
         expected = None
-        for engine in ("backtracking", "plan", "shared"):
+        for engine in ("backtracking", "plan", "shared", "columnar"):
             cache = FragmentCache(max_bytes=1 << 20)
             result = reformulate(pdms, query)
             cold = evaluate_reformulation(

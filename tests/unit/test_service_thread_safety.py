@@ -58,7 +58,7 @@ def build_service(engine="shared", max_entries=1024):
     return service, data, queries
 
 
-@pytest.mark.parametrize("engine", ["backtracking", "shared", "distributed"])
+@pytest.mark.parametrize("engine", ["backtracking", "shared", "columnar", "distributed"])
 def test_concurrent_answers_keep_counters_exact(engine):
     """N threads x M rounds: totals must add up to the call count exactly."""
     service, data, queries = build_service(engine=engine)

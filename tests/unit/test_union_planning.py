@@ -178,7 +178,8 @@ class TestUnionPlanSharing:
 
 class TestEngineRegistry:
     def test_default_engines_registered_in_order(self):
-        assert registered_engines()[:3] == ("backtracking", "plan", "shared")
+        assert registered_engines()[:4] == (
+            "backtracking", "plan", "shared", "columnar")
 
     def test_validate_engine_message_enumerates_dynamically(self):
         with pytest.raises(EvaluationError) as excinfo:
