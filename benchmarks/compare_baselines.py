@@ -65,6 +65,10 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("cases.transport_overhead.loopback_relative_throughput", "timing"),
         ("cases.concurrent_clients.concurrency_speedup", "timing"),
     ),
+    "BENCH_adaptive.json": (
+        ("cases.convergence.adaptive_speedup", "timing"),
+        ("cases.convergence.q_error_drop", "exact"),
+    ),
     # BENCH_eval.json records absolute per-case timings only (no
     # machine-portable ratios), so it has nothing to guard here.
 }

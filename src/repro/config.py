@@ -56,6 +56,20 @@ def bool_from_env(name: str, default: bool) -> bool:
     return int_from_env(name, 1 if default else 0) > 0
 
 
+def float_from_env(name: str, default: float, minimum: float = 0.0) -> float:
+    """Read a float from the environment, failing fast when malformed."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EvaluationError(f"{name}={raw!r} is not a number") from None
+    if value < minimum:
+        raise EvaluationError(f"{name}={raw!r} must be >= {minimum}")
+    return value
+
+
 # ---------------------------------------------------------------------------
 # The knobs (one documented reader per REPRO_* variable)
 # ---------------------------------------------------------------------------
@@ -125,3 +139,27 @@ def transport_timeout_seconds() -> float:
 def max_inflight() -> int:
     """Cluster admission bound (``REPRO_MAX_INFLIGHT``; 0 = unbounded)."""
     return int_from_env("REPRO_MAX_INFLIGHT", 0)
+
+
+def adaptive_enabled() -> bool:
+    """Whether services run the self-tuning loop (``REPRO_ADAPTIVE``).
+
+    Off by default.  When on, every :class:`repro.pdms.service.QueryService`
+    owns a :class:`repro.database.feedback.QErrorLog`: fragment
+    evaluations over the service's own data are measured, estimation
+    errors become version-scoped cardinality corrections, and plans are
+    re-compiled and raced champion/challenger as corrections accumulate.
+    See ``docs/adaptivity.md``.
+    """
+    return bool_from_env("REPRO_ADAPTIVE", False)
+
+
+def race_margin() -> float:
+    """Cost ratio that makes a challenger raceable (``REPRO_RACE_MARGIN``).
+
+    A challenger plan is raced against the incumbent champion when its
+    corrected cost estimate is within ``margin`` times the champion's
+    (default 2.0; must be >= 1.0).  Larger values race more aggressively;
+    1.0 races only challengers that already estimate no worse.
+    """
+    return float_from_env("REPRO_RACE_MARGIN", 2.0, minimum=1.0)

@@ -1,0 +1,355 @@
+"""Cardinality feedback: measure estimation error, remember the truth.
+
+The cost model (:mod:`repro.database.planner`,
+:mod:`repro.database.statistics`) estimates fragment cardinalities from
+per-relation statistics under an independence assumption.  On skewed or
+correlated data those estimates can be off by orders of magnitude, and
+nothing so far *measured* the error — a bad bushy join shape, once
+compiled, was locked in forever.  This module closes the loop:
+
+* **q-error** — the standard symmetric estimation-error metric
+  ``max(estimated / actual, actual / estimated)`` (both floored at 1).
+  A perfect estimate scores 1.0; over- and under-estimation by the same
+  factor score the same.
+
+* :class:`QErrorLog` — a thread-safe log the executors feed one
+  observation per *freshly computed* fragment: canonical fragment key,
+  the relations it reads, the data-version token it was computed at, the
+  planner's estimate, and the true row count.  The log maintains
+  per-relation and per-column q-error aggregates, a bounded sample
+  reservoir for percentiles, and **version-scoped corrections**: the
+  observed actual, keyed by fragment key and valid only while the
+  data-version token matches — exactly the staleness rule the
+  :class:`~repro.pdms.materialization.FragmentCache` uses, so a write to
+  any relation a correction depends on invalidates it for free.
+
+* :class:`AdaptiveStats` — the flat counters surfaced through
+  ``ServiceStats.adaptive`` (observations, live corrections, corrections
+  applied during planning, races run/won/mismatched, mid-union re-plans)
+  plus the current q-error percentiles.
+
+Consumers: :mod:`repro.pdms.planning` records observations and reads
+corrections while compiling; :class:`repro.pdms.service.QueryService`
+owns one log per adaptive service and races challenger plans when the
+log's ``generation`` moves.  See ``docs/adaptivity.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+__all__ = [
+    "AdaptiveStats",
+    "QErrorLog",
+    "QErrorObservation",
+    "q_error",
+]
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric relative estimation error, floored at 1.0.
+
+    Both operands are clamped to >= 1 first, so an estimated-0/actual-0
+    pair is a perfect 1.0 instead of a division error, and "estimated 0,
+    actual 1000" scores the same 1000x as the reverse.
+    """
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return est / act if est >= act else act / est
+
+
+@dataclass(frozen=True)
+class QErrorObservation:
+    """One measured fragment evaluation: what we guessed vs what happened.
+
+    ``estimated`` is ``None`` when the executing plan had no estimate for
+    the fragment (no cost model, or a path that only knows actuals);
+    such observations still feed corrections consumers may not use, but
+    carry no ``q`` and do not move the percentile aggregates.
+    """
+
+    key: str
+    relations: FrozenSet[str]
+    token: object
+    estimated: Optional[float]
+    actual: int
+    q: Optional[float]
+
+
+class _Aggregate:
+    """Streaming q-error summary for one relation or column."""
+
+    __slots__ = ("count", "total", "worst")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.worst = 1.0
+
+    def add(self, q: float) -> None:
+        self.count += 1
+        self.total += q
+        if q > self.worst:
+            self.worst = q
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else 0.0,
+            "max": self.worst,
+        }
+
+
+@dataclass
+class AdaptiveStats:
+    """Counters describing the self-tuning loop (all zero when disabled).
+
+    The percentile fields are refreshed from the owning
+    :class:`QErrorLog`'s sample reservoir — continuously every few
+    records and explicitly by
+    :meth:`repro.pdms.service.QueryService.stats_snapshot`.
+    """
+
+    #: Fragment evaluations measured (with or without an estimate).
+    observations: int = 0
+    #: Version-scoped corrections currently held.
+    corrections: int = 0
+    #: Estimates overridden by a correction while compiling a plan.
+    corrections_applied: int = 0
+    #: Champion/challenger races executed.
+    races_run: int = 0
+    #: Races the challenger won (and was adopted).
+    races_won: int = 0
+    #: Races where the answer sets differed — champion kept, red flag.
+    races_mismatched: int = 0
+    #: Mid-union re-optimizations triggered by blown estimates.
+    replans: int = 0
+    #: q-error percentiles over the recent sample reservoir.
+    q_error_p50: float = 0.0
+    q_error_p90: float = 0.0
+    q_error_max: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "observations": self.observations,
+            "corrections": self.corrections,
+            "corrections_applied": self.corrections_applied,
+            "races_run": self.races_run,
+            "races_won": self.races_won,
+            "races_mismatched": self.races_mismatched,
+            "replans": self.replans,
+            "q_error_p50": self.q_error_p50,
+            "q_error_p90": self.q_error_p90,
+            "q_error_max": self.q_error_max,
+        }
+
+    def snapshot(self) -> "AdaptiveStats":
+        """An independent copy (the live object keeps mutating)."""
+        return replace(self)
+
+
+def _percentile(ordered, fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+class QErrorLog:
+    """Thread-safe estimation-feedback log with version-scoped corrections.
+
+    Parameters
+    ----------
+    correction_threshold:
+        Minimum q-error before an observation is promoted to a
+        correction (and bumps ``generation``).  Estimates better than
+        this are left alone — the model was right enough.
+    blowup_factor:
+        ``actual > blowup_factor * estimated`` counts as a *blown*
+        estimate (``blown_events``); the union executor uses the counter
+        to trigger mid-union re-optimization.
+    max_corrections:
+        Bound on held corrections (least recently touched drop first).
+    max_observations:
+        Bound on the observation ring buffer :meth:`observations` serves.
+    replan:
+        Whether executors holding this log may re-optimize mid-union on
+        blown estimates (measurement-only logs switch this off).
+    """
+
+    def __init__(
+        self,
+        correction_threshold: float = 2.0,
+        blowup_factor: float = 8.0,
+        max_corrections: int = 4096,
+        max_observations: int = 8192,
+        replan: bool = True,
+    ):
+        if correction_threshold < 1.0:
+            raise ValueError("correction_threshold must be >= 1.0")
+        if blowup_factor < 1.0:
+            raise ValueError("blowup_factor must be >= 1.0")
+        self.correction_threshold = correction_threshold
+        self.blowup_factor = blowup_factor
+        self.replan = replan
+        self.stats = AdaptiveStats()
+        #: Monotone counter: moves whenever the held corrections change in
+        #: a way that could change planning decisions.  Plan caches compare
+        #: it against the generation they compiled at.
+        self.generation = 0
+        #: Monotone counter of blown estimates (actual >> estimated).
+        self.blown_events = 0
+        self._lock = threading.Lock()
+        self._max_corrections = max_corrections
+        #: key -> (token, actual, relations); valid only at that token.
+        self._corrections: "OrderedDict[str, Tuple[object, int, FrozenSet[str]]]" = (
+            OrderedDict()
+        )
+        self._observations: "deque[QErrorObservation]" = deque(maxlen=max_observations)
+        self._samples: "deque[float]" = deque(maxlen=4096)
+        self._per_relation: Dict[str, _Aggregate] = {}
+        self._per_column: Dict[Tuple[str, int], _Aggregate] = {}
+        self._since_refresh = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        key: str,
+        relations: Iterable[str],
+        token: object,
+        estimated: Optional[float],
+        actual: int,
+        columns: Iterable[Tuple[str, int]] = (),
+    ) -> Optional[float]:
+        """Log one fragment evaluation; returns its q-error (if measurable).
+
+        Corrections are stored under ``token``: a later
+        :meth:`correction` lookup with a different token — the relations'
+        data moved, a peer churned — misses, which is the entire
+        invalidation story.  ``columns`` optionally names the
+        ``(relation, position)`` pairs the fragment restricted, feeding
+        the per-column aggregates.
+        """
+        with self._lock:
+            stats = self.stats
+            stats.observations += 1
+            q: Optional[float] = None
+            if estimated is not None:
+                q = q_error(estimated, actual)
+                self._samples.append(q)
+                for relation in relations:
+                    aggregate = self._per_relation.get(relation)
+                    if aggregate is None:
+                        aggregate = self._per_relation[relation] = _Aggregate()
+                    aggregate.add(q)
+                for column in columns:
+                    aggregate = self._per_column.get(column)
+                    if aggregate is None:
+                        aggregate = self._per_column[column] = _Aggregate()
+                    aggregate.add(q)
+                if actual > self.blowup_factor * max(float(estimated), 1.0):
+                    self.blown_events += 1
+            footprint = frozenset(relations)
+            self._observations.append(
+                QErrorObservation(key, footprint, token, estimated, actual, q)
+            )
+            entry = self._corrections.get(key)
+            if entry is not None:
+                # Keep an existing correction current (fresh token and
+                # actual); bump the generation only when the actual moved
+                # enough to change planning decisions.
+                if q_error(max(entry[1], 1), max(actual, 1)) >= self.correction_threshold:
+                    self.generation += 1
+                self._corrections[key] = (token, actual, footprint)
+                self._corrections.move_to_end(key)
+            elif q is not None and q >= self.correction_threshold:
+                self._corrections[key] = (token, actual, footprint)
+                while len(self._corrections) > self._max_corrections:
+                    self._corrections.popitem(last=False)
+                self.generation += 1
+            stats.corrections = len(self._corrections)
+            self._since_refresh += 1
+            if self._since_refresh >= 64:
+                self._refresh_percentiles_locked()
+        return q
+
+    # -- corrections -------------------------------------------------------
+
+    def correction(self, key: str, token: object) -> Optional[int]:
+        """The observed cardinality of fragment ``key`` at ``token``.
+
+        ``None`` when no correction is held *or* the held one was
+        observed at a different data version — stale truth is no truth.
+        """
+        with self._lock:
+            entry = self._corrections.get(key)
+            if entry is None or entry[0] != token:
+                return None
+            self._corrections.move_to_end(key)
+            return entry[1]
+
+    def note_applied(self) -> None:
+        """Count one correction actually substituted into a plan."""
+        with self._lock:
+            self.stats.corrections_applied += 1
+
+    def invalidate_relations(self, relations: Iterable[str]) -> int:
+        """Drop corrections that read any of ``relations``; returns count.
+
+        Version tokens already stop stale corrections being *served*;
+        this reclaims the entries eagerly (peer removal does the same to
+        the fragment cache).
+        """
+        doomed = set(relations)
+        with self._lock:
+            stale = [
+                key
+                for key, (_, _, footprint) in self._corrections.items()
+                if footprint & doomed
+            ]
+            for key in stale:
+                del self._corrections[key]
+            if stale:
+                self.generation += 1
+                self.stats.corrections = len(self._corrections)
+        return len(stale)
+
+    # -- introspection -----------------------------------------------------
+
+    def observations(self) -> Tuple[QErrorObservation, ...]:
+        """The retained observations, oldest first (bounded ring)."""
+        with self._lock:
+            return tuple(self._observations)
+
+    def per_relation(self) -> Dict[str, Dict[str, float]]:
+        """q-error aggregates keyed by relation name."""
+        with self._lock:
+            return {name: agg.as_dict() for name, agg in self._per_relation.items()}
+
+    def per_column(self) -> Dict[Tuple[str, int], Dict[str, float]]:
+        """q-error aggregates keyed by ``(relation, position)``."""
+        with self._lock:
+            return {col: agg.as_dict() for col, agg in self._per_column.items()}
+
+    def _refresh_percentiles_locked(self) -> None:
+        ordered = sorted(self._samples)
+        self.stats.q_error_p50 = _percentile(ordered, 0.50)
+        self.stats.q_error_p90 = _percentile(ordered, 0.90)
+        self.stats.q_error_max = ordered[-1] if ordered else 0.0
+        self._since_refresh = 0
+
+    def refresh_percentiles(self) -> None:
+        """Recompute the percentile fields on :attr:`stats` now."""
+        with self._lock:
+            self._refresh_percentiles_locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"QErrorLog({s.observations} obs, {s.corrections} corrections, "
+            f"gen {self.generation})"
+        )

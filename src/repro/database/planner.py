@@ -26,7 +26,18 @@ suite, which is the point of having both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..config import columnar_enabled
 from ..datalog.atoms import Atom, ComparisonAtom, compare_values
@@ -43,7 +54,13 @@ from .columnar import (
     union_distinct,
 )
 from .columnar import _mask_and as _combine_masks
-from .statistics import StatisticsCatalog, WeakStatisticsCatalog, shared_statistics
+from .feedback import QErrorLog
+from .statistics import (
+    StatisticsCatalog,
+    WeakStatisticsCatalog,
+    shared_statistics,
+    source_data_version,
+)
 
 Row = Tuple[object, ...]
 
@@ -346,14 +363,29 @@ class CardinalityCostModel:
         """Distinct values at one column position (>= 1)."""
         return self._statistics.column_distinct(relation, position)
 
+    def live_source(self) -> Optional[object]:
+        """The statistics catalog's live source, if it is still alive.
+
+        ``None`` for frozen/snapshot models — consumers that need current
+        data-version tokens (cardinality-feedback corrections) then simply
+        stand down.
+        """
+        return self._statistics.live_source()
+
     def scan_estimate(self, relation: str, filters: int = 0, equalities: int = 0) -> int:
         """Positionless estimate: the legacy shrink-per-restriction heuristic.
 
         Kept for callers that only know *how many* restrictions a scan
         carries; :meth:`restriction_estimate` prices known positions with
-        real selectivities.
+        real selectivities.  Non-empty relations floor at 1 — like
+        :meth:`restriction_estimate` — so a heavily restricted scan of a
+        populated relation never ties with a genuinely empty one and
+        misorders the join greedily built on these numbers.
         """
-        return max(self.cardinality(relation) // (1 + filters + equalities), 0)
+        cardinality = self.cardinality(relation)
+        if cardinality <= 0:
+            return 0
+        return max(cardinality // (1 + filters + equalities), 1)
 
     def restriction_estimate(
         self,
@@ -576,8 +608,51 @@ def _execute_scan(node: ScanNode, facts) -> Table:
     return projected.rename(dict(zip(projected.columns, keep_names)))
 
 
-def _execute_select(node: SelectNode, facts, memo=None) -> Table:
-    table = _execute_row(node.child, facts, memo)
+def _node_relations(node: PlanNode) -> FrozenSet[str]:
+    """The stored relations a plan subtree scans (its version footprint)."""
+    if isinstance(node, ScanNode):
+        return frozenset((node.relation,))
+    out: Set[str] = set()
+    for child in node.children():
+        out |= _node_relations(child)
+    return frozenset(out)
+
+
+def _relations_token(source, relations: Iterable[str]) -> Optional[object]:
+    """One composite data-version token over ``relations`` (None if any
+    relation is unversioned) — the same shape
+    :func:`repro.pdms.materialization.data_version_token` produces."""
+    parts = []
+    for relation in sorted(relations):
+        version = source_data_version(source, relation)
+        if version is None:
+            return None
+        parts.append((relation, version))
+    return tuple(parts)
+
+
+def _plan_recorder(feedback: QErrorLog, source, cost: Optional[CardinalityCostModel]):
+    """A per-execution hook feeding scan/join actuals into ``feedback``.
+
+    Keys are the node's structural rendering (``repr`` of the frozen
+    dataclass) — stable across executions of the same compiled plan, the
+    property corrections need.  Without a cost model only actuals are
+    recorded (no estimate, no q-error).
+    """
+
+    def record(node: PlanNode, actual: int) -> None:
+        relations = _node_relations(node)
+        estimated = float(_estimate(node, cost)) if cost is not None else None
+        feedback.record(
+            repr(node), relations, _relations_token(source, relations),
+            estimated, actual,
+        )
+
+    return record
+
+
+def _execute_select(node: SelectNode, facts, memo=None, recorder=None) -> Table:
+    table = _execute_row(node.child, facts, memo, recorder)
 
     def satisfied(row: Mapping[str, object]) -> bool:
         for comparison in node.comparisons:
@@ -594,8 +669,8 @@ def _execute_select(node: SelectNode, facts, memo=None) -> Table:
     return table.select(satisfied)
 
 
-def _execute_project(node: ProjectNode, facts, memo=None) -> Table:
-    table = _execute_row(node.child, facts, memo)
+def _execute_project(node: ProjectNode, facts, memo=None, recorder=None) -> Table:
+    table = _execute_row(node.child, facts, memo, recorder)
     out_rows = []
     for row in table:
         named = dict(zip(table.columns, row))
@@ -607,37 +682,46 @@ def _execute_project(node: ProjectNode, facts, memo=None) -> Table:
 
 
 def _execute_row(
-    node: PlanNode, source, memo: Optional[Dict[str, Table]] = None
+    node: PlanNode,
+    source,
+    memo: Optional[Dict[str, Table]] = None,
+    recorder=None,
 ) -> Table:
     """The row-at-a-time execution path (one Python tuple per step)."""
     if isinstance(node, ScanNode):
-        return _execute_scan(node, source)
+        table = _execute_scan(node, source)
+        if recorder is not None:
+            recorder(node, len(table))
+        return table
     if isinstance(node, JoinNode):
-        return _execute_row(node.left, source, memo).natural_join(
-            _execute_row(node.right, source, memo))
+        table = _execute_row(node.left, source, memo, recorder).natural_join(
+            _execute_row(node.right, source, memo, recorder))
+        if recorder is not None:
+            recorder(node, len(table))
+        return table
     if isinstance(node, SelectNode):
-        return _execute_select(node, source, memo=memo)
+        return _execute_select(node, source, memo=memo, recorder=recorder)
     if isinstance(node, ProjectNode):
-        return _execute_project(node, source, memo=memo)
+        return _execute_project(node, source, memo=memo, recorder=recorder)
     if isinstance(node, UnionNode):
         # Disjuncts may name their head variables differently; align each
         # branch to the union's columns positionally before the union.
         out_columns = node.output_columns()
         tables = []
         for branch in node.branches:
-            table = _execute_row(branch, source, memo)
+            table = _execute_row(branch, source, memo, recorder)
             if table.columns != out_columns:
                 table = table.rename(dict(zip(table.columns, out_columns)))
             tables.append(table)
         return union_many(tables, columns=out_columns)
     if isinstance(node, DistinctNode):
-        return _execute_row(node.child, source, memo).distinct()
+        return _execute_row(node.child, source, memo, recorder).distinct()
     if isinstance(node, MaterializeNode):
         if memo is None:
-            return _execute_row(node.child, source)
+            return _execute_row(node.child, source, recorder=recorder)
         table = memo.get(node.key)
         if table is None:
-            table = memo[node.key] = _execute_row(node.child, source, memo)
+            table = memo[node.key] = _execute_row(node.child, source, memo, recorder)
         return table
     if isinstance(node, EmptyNode):
         return Table(node.output_columns(), [])
@@ -696,6 +780,7 @@ def _execute_vectorized(
     memo: Optional[Dict[str, Table]],
     colmemo: Dict[str, ColumnTable],
     cost: Optional[CardinalityCostModel],
+    recorder=None,
 ) -> ColumnTable:
     """The batch execution path: every operator consumes and produces
     :class:`ColumnTable` batches; operators with no kernel fall back to
@@ -707,20 +792,26 @@ def _execute_vectorized(
         )
         ct = ct.fused_select(node.filters, node.equal_positions)
         keep_positions, keep_names = _scan_projection(node)
-        return ct.project_positions(keep_positions, keep_names)
+        ct = ct.project_positions(keep_positions, keep_names)
+        if recorder is not None:
+            recorder(node, len(ct))
+        return ct
     if isinstance(node, JoinNode):
-        left_ct = _execute_vectorized(node.left, source, memo, colmemo, cost)
-        right_ct = _execute_vectorized(node.right, source, memo, colmemo, cost)
-        return left_ct.natural_join(
+        left_ct = _execute_vectorized(node.left, source, memo, colmemo, cost, recorder)
+        right_ct = _execute_vectorized(node.right, source, memo, colmemo, cost, recorder)
+        ct = left_ct.natural_join(
             right_ct,
             build_right=_vectorized_build_right(node, left_ct, right_ct, cost),
         )
+        if recorder is not None:
+            recorder(node, len(ct))
+        return ct
     if isinstance(node, SelectNode):
-        ct = _execute_vectorized(node.child, source, memo, colmemo, cost)
+        ct = _execute_vectorized(node.child, source, memo, colmemo, cost, recorder)
         mask = _comparison_masks(ct, node.comparisons)
         return ct if mask is None else ct.select_mask(mask)
     if isinstance(node, ProjectNode):
-        ct = _execute_vectorized(node.child, source, memo, colmemo, cost)
+        ct = _execute_vectorized(node.child, source, memo, colmemo, cost, recorder)
         out_cols = []
         for term in node.head:
             if is_variable(term):
@@ -735,13 +826,15 @@ def _execute_vectorized(
         out_columns = node.output_columns()
         branches = []
         for branch in node.branches:
-            ct = _execute_vectorized(branch, source, memo, colmemo, cost)
+            ct = _execute_vectorized(branch, source, memo, colmemo, cost, recorder)
             if ct.columns != out_columns:
                 ct = ColumnTable(out_columns, ct.data, len(ct))
             branches.append(ct)
         return union_distinct(branches, columns=out_columns)
     if isinstance(node, DistinctNode):
-        return _execute_vectorized(node.child, source, memo, colmemo, cost).distinct()
+        return _execute_vectorized(
+            node.child, source, memo, colmemo, cost, recorder
+        ).distinct()
     if isinstance(node, MaterializeNode):
         ct = colmemo.get(node.key)
         if ct is not None:
@@ -752,7 +845,7 @@ def _execute_vectorized(
                 ct = ColumnTable.from_table(table)
                 colmemo[node.key] = ct
                 return ct
-        ct = _execute_vectorized(node.child, source, memo, colmemo, cost)
+        ct = _execute_vectorized(node.child, source, memo, colmemo, cost, recorder)
         colmemo[node.key] = ct
         if memo is not None:
             # The public memo contract stores row tables; keep it so memos
@@ -764,7 +857,7 @@ def _execute_vectorized(
         return ColumnTable(columns, tuple([] for _ in columns), 0)
     # Odd operators (future/theta nodes) fall back to the row engine for
     # just this subtree and re-lift the result into a batch.
-    return ColumnTable.from_table(_execute_row(node, source, memo))
+    return ColumnTable.from_table(_execute_row(node, source, memo, recorder=recorder))
 
 
 def execute_plan(
@@ -774,6 +867,7 @@ def execute_plan(
     *,
     vectorized: Optional[bool] = None,
     cost: Optional[CardinalityCostModel] = None,
+    feedback: Optional[QErrorLog] = None,
 ) -> Table:
     """Execute a logical plan over ``facts`` and return the result table.
 
@@ -791,14 +885,17 @@ def execute_plan(
     same :class:`Table`.  ``cost`` (optional) supplies
     :class:`CardinalityCostModel` statistics so vectorized joins pick
     their build side by estimated cardinality instead of materialised
-    size.
+    size.  ``feedback`` (optional) is a :class:`QErrorLog` that receives
+    one ``(estimated, actual)`` observation per scan and join actually
+    executed (memoised subplans report only on their first computation).
     """
     source = as_fact_source(facts)
     if vectorized is None:
         vectorized = columnar_enabled()
+    recorder = _plan_recorder(feedback, source, cost) if feedback is not None else None
     if vectorized:
-        return _execute_vectorized(node, source, memo, {}, cost).to_table()
-    return _execute_row(node, source, memo)
+        return _execute_vectorized(node, source, memo, {}, cost, recorder).to_table()
+    return _execute_row(node, source, memo, recorder=recorder)
 
 
 def evaluate_query_via_plan(query: ConjunctiveQuery, facts: FactsLike) -> Set[Row]:

@@ -191,7 +191,9 @@ class ServiceCluster:
                 "max_inflight": self._max_inflight,
             }
         snapshot["peer_scan_counts"] = peers
-        snapshot["service"] = self._service.stats.as_dict()
+        # Snapshot, not the live stats object: concurrent answers keep
+        # mutating the aliased fragment/adaptive counters mid-render.
+        snapshot["service"] = self._service.stats_snapshot().as_dict()
         if self._source is not None:
             snapshot["unreachable_peers"] = self._source.unreachable_peers
             snapshot["transport_failures"] = self._source.failure_count

@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Set, Tuple
 
+from ...database.feedback import QErrorLog
 from ...datalog.evaluation import as_fact_source
 from ...datalog.indexing import ensure_indexed
 from ...errors import EvaluationError
@@ -102,15 +103,16 @@ class DistributedEngine:
         data,
         plan: Optional[UnionPlan] = None,
         cache: Optional[FragmentCache] = None,
+        feedback: Optional[QErrorLog] = None,
     ) -> Iterator[Row]:
         if plan is not None and plan.result is not result:
             raise EvaluationError(
                 "the supplied union plan was compiled for a different "
                 "reformulation result"
             )
-        return self._generate(result, data, plan, cache)
+        return self._generate(result, data, plan, cache, feedback)
 
-    def _generate(self, result, data, plan, cache) -> Iterator[Row]:
+    def _generate(self, result, data, plan, cache, feedback=None) -> Iterator[Row]:
         remote: Optional[RemotePeerFactSource] = None
         owns_source = False
         if isinstance(data, RemotePeerFactSource):
@@ -128,7 +130,9 @@ class DistributedEngine:
                 plan = ensure_plan(result, source)
             if remote is None:
                 # No peer structure to scatter over: identical to "shared".
-                yield from stream_plan_answers(plan, source, cache=cache)
+                yield from stream_plan_answers(
+                    plan, source, cache=cache, feedback=feedback
+                )
                 return
             indexed = ensure_indexed(as_fact_source(source))
             memo = _OnceMap()
@@ -140,7 +144,7 @@ class DistributedEngine:
                 # never blocks on the wire.
                 remote.prefetch(plan.scan_requests(rewriting_plan.root_key))
                 for row in _evaluate_rewriting_plan(
-                    plan, rewriting_plan, indexed, memo, cache
+                    plan, rewriting_plan, indexed, memo, cache, feedback=feedback
                 ):
                     if row not in seen:
                         seen.add(row)

@@ -53,6 +53,7 @@ from typing import (
     Union,
 )
 
+from ..database.feedback import QErrorLog
 from ..database.instance import Instance, relation_creation_clock
 from ..database.planner import evaluate_query_via_plan
 from ..datalog.evaluation import FactsLike, evaluate_query
@@ -93,6 +94,11 @@ class ExecutionEngine(Protocol):
     granularity fits — shared fragment tables for the union-plan engine,
     whole-rewriting answer sets for the per-rewriting engines — and
     ignores it when the data source exposes no data versions.
+    ``feedback`` (optional) is a
+    :class:`~repro.database.feedback.QErrorLog` recording one
+    ``(estimated, actual)`` cardinality observation per unit of work the
+    engine freshly evaluates (fragments for plan engines, whole
+    rewritings for per-rewriting engines).
     """
 
     name: str
@@ -103,6 +109,7 @@ class ExecutionEngine(Protocol):
         data: FactsLike,
         plan: Optional[UnionPlan] = None,
         cache: Optional[FragmentCache] = None,
+        feedback: Optional[QErrorLog] = None,
     ) -> Iterator[Row]:  # pragma: no cover - protocol
         ...
 
@@ -128,20 +135,32 @@ class PerRewritingEngine:
         rewriting: ConjunctiveQuery,
         data: FactsLike,
         cache: Optional[FragmentCache],
+        feedback: Optional[QErrorLog] = None,
     ):
-        if cache is None:
-            return self._evaluate(rewriting, data)
         relations = {atom.predicate for atom in rewriting.relational_body()}
+        key = "rewriting::" + canonicalize_query(rewriting).signature
+
+        def evaluate():
+            rows = frozenset(self._evaluate(rewriting, data))
+            if feedback is not None:
+                # Whole-rewriting granularity: no per-fragment estimate
+                # exists on this path, so the observation carries the true
+                # cardinality only (feeding corrections, not q-error).
+                feedback.record(
+                    key,
+                    relations,
+                    data_version_token(data, relations),
+                    None,
+                    len(rows),
+                )
+            return rows
+
+        if cache is None:
+            return evaluate()
         token = data_version_token(data, relations)
         if token is None:
-            return self._evaluate(rewriting, data)
-        key = "rewriting::" + canonicalize_query(rewriting).signature
-        return cache.get_or_compute(
-            key,
-            token,
-            relations,
-            lambda: frozenset(self._evaluate(rewriting, data)),
-        )
+            return evaluate()
+        return cache.get_or_compute(key, token, relations, evaluate)
 
     def stream(
         self,
@@ -149,10 +168,11 @@ class PerRewritingEngine:
         data: FactsLike,
         plan: Optional[UnionPlan] = None,
         cache: Optional[FragmentCache] = None,
+        feedback: Optional[QErrorLog] = None,
     ) -> Iterator[Row]:
         seen: Set[Row] = set()
         for rewriting in result.rewritings():
-            for row in self._rows(rewriting, data, cache):
+            for row in self._rows(rewriting, data, cache, feedback):
                 if row not in seen:
                     seen.add(row)
                     yield row
@@ -193,6 +213,7 @@ class SharedPlanEngine:
         data: FactsLike,
         plan: Optional[UnionPlan] = None,
         cache: Optional[FragmentCache] = None,
+        feedback: Optional[QErrorLog] = None,
     ) -> Iterator[Row]:
         workers = (
             self._max_workers
@@ -207,7 +228,12 @@ class SharedPlanEngine:
                 "reformulation result"
             )
         return stream_plan_answers(
-            plan, data, max_workers=workers, cache=cache, columnar=self._columnar
+            plan,
+            data,
+            max_workers=workers,
+            cache=cache,
+            columnar=self._columnar,
+            feedback=feedback,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -511,6 +537,7 @@ def stream_answers(
     engine: Optional[str] = None,
     plan: Optional[UnionPlan] = None,
     cache: Optional[FragmentCache] = None,
+    feedback: Optional[QErrorLog] = None,
 ) -> Iterator[Row]:
     """Yield distinct answer rows as the rewriting enumeration progresses.
 
@@ -522,11 +549,15 @@ def stream_answers(
     ``plan`` (optional) hands a cached compiled union plan to engines that
     consume one; other engines ignore it.  ``cache`` (optional) is a
     cross-call :class:`~repro.pdms.materialization.FragmentCache` every
-    engine routes repeated work through.  A bad ``engine`` name raises
-    here, at call time, not on first iteration.
+    engine routes repeated work through.  ``feedback`` (optional) is a
+    :class:`~repro.database.feedback.QErrorLog` measuring the engine's
+    freshly evaluated work.  A bad ``engine`` name raises here, at call
+    time, not on first iteration.
     """
     impl = get_engine(engine if engine is not None else default_engine())
-    return impl.stream(result, federate_if_per_peer(data), plan=plan, cache=cache)
+    return impl.stream(
+        result, federate_if_per_peer(data), plan=plan, cache=cache, feedback=feedback
+    )
 
 
 def evaluate_reformulation(
@@ -536,6 +567,7 @@ def evaluate_reformulation(
     limit: Optional[int] = None,
     plan: Optional[UnionPlan] = None,
     cache: Optional[FragmentCache] = None,
+    feedback: Optional[QErrorLog] = None,
 ) -> Set[Row]:
     """Evaluate the rewritings of ``result`` over ``data`` (set semantics).
 
@@ -554,7 +586,9 @@ def evaluate_reformulation(
     answers: Set[Row] = set()
     if limit == 0:
         return answers
-    for row in stream_answers(result, data, engine=engine, plan=plan, cache=cache):
+    for row in stream_answers(
+        result, data, engine=engine, plan=plan, cache=cache, feedback=feedback
+    ):
         answers.add(row)
         if limit is not None and len(answers) >= limit:
             break

@@ -101,6 +101,19 @@ def data_version_token(
     return tuple(tokens)
 
 
+def result_row_count(value: object) -> int:
+    """The row count of a fragment result, whatever shape it took.
+
+    Fragment evaluation produces :class:`Table` objects on the row path,
+    :class:`~repro.database.columnar.ColumnTable` batches on the
+    vectorized path, and frozen row sets from the per-rewriting engines —
+    all sized, but ``Table`` keeps its rows one attribute down.
+    """
+    if isinstance(value, Table):
+        return len(value.rows)
+    return len(value)  # type: ignore[arg-type]
+
+
 def estimate_result_bytes(value: object) -> int:
     """A deterministic O(1) footprint estimate of a cached result.
 

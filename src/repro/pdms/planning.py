@@ -59,6 +59,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..config import columnar_enabled, shared_executor
@@ -67,6 +68,7 @@ from ..database.algebra import Table
 from ..database.columnar import ColumnTable, compare_cols_mask, compare_mask
 from ..database.columnar import _mask_and as _combine_masks
 from ..database.columnar import _pylist
+from ..database.feedback import QErrorLog
 from ..database.planner import CardinalityCostModel
 from ..datalog.atoms import Atom, compare_values
 from ..datalog.evaluation import FactsLike, as_fact_source
@@ -74,7 +76,7 @@ from ..datalog.indexing import WILDCARD, ensure_indexed
 from ..datalog.queries import ConjunctiveQuery
 from ..datalog.terms import Variable, is_variable
 from ..errors import EvaluationError
-from .materialization import FragmentCache, data_version_token
+from .materialization import FragmentCache, data_version_token, result_row_count
 from .reformulation import ReformulationResult, _LazySeq
 
 Row = Tuple[object, ...]
@@ -298,11 +300,17 @@ class UnionPlan:
         result: ReformulationResult,
         cost: Optional[CardinalityCostModel] = None,
         bushy: bool = True,
+        feedback: Optional[QErrorLog] = None,
     ):
         self.result = result
         self.nodes: Dict[str, PlanFragment] = {}
         self.stats = PlanStatistics()
         self.bushy = bushy
+        self.feedback = feedback
+        #: Per-fragment estimated row counts as used by this compilation —
+        #: after any feedback corrections, so executors can score the plan
+        #: against reality and a converged plan measures q-errors near 1.
+        self.estimates: Dict[str, float] = {}
         self._cost = cost
         self._relations_cache: Dict[str, FrozenSet[str]] = {}
         self._scans_cache: Dict[str, Tuple[Tuple[str, Tuple[object, ...]], ...]] = {}
@@ -405,6 +413,61 @@ class UnionPlan:
             self._scans_cache[key] = cached
         return cached
 
+    # -- feedback corrections ----------------------------------------------
+
+    def _apply_correction(
+        self,
+        key: str,
+        relations: FrozenSet[str],
+        fallback: float,
+        count: bool = True,
+    ) -> float:
+        """``key``'s observed cardinality if a valid correction is held.
+
+        Falls back to the model's ``fallback`` estimate whenever the
+        feedback log holds nothing for the fragment, the correction was
+        observed at a different data version, or no current version token
+        can be computed (frozen/source-less cost model, unversioned
+        source).  ``count=False`` suppresses the corrections-applied
+        counter for speculative lookups (candidate scoring previews).
+        """
+        feedback = self.feedback
+        if feedback is None or self._cost is None:
+            return fallback
+        source = self._cost.live_source()
+        if source is None:
+            return fallback
+        token = data_version_token(source, relations)
+        if token is None:
+            return fallback
+        actual = feedback.correction(key, token)
+        if actual is None:
+            return fallback
+        if count:
+            feedback.note_applied()
+        return float(actual)
+
+    def estimated_cost(self) -> float:
+        """The plan's total estimated fragment output, corrections applied.
+
+        Forces full compilation, then sums one (corrected) row estimate
+        per unique fragment node.  Because corrections are keyed by
+        canonical fragment key, a champion whose blown fragment has since
+        been measured re-costs *high* here while a challenger avoiding
+        that fragment does not — which is exactly the comparison the
+        racing policy needs.  Every fragment contributes at least 1.
+        """
+        for _ in self.fragments():
+            pass
+        total = 0.0
+        for key in self.nodes:
+            fallback = self.estimates.get(key, 1.0)
+            corrected = self._apply_correction(
+                key, self.fragment_relations(key), fallback, count=False
+            )
+            total += max(corrected, 1.0)
+        return total
+
     def _compile_rewriting(self, rewriting: ConjunctiveQuery) -> RewritingPlan:
         atoms = rewriting.relational_body()
         if not atoms:
@@ -427,6 +490,9 @@ class UnionPlan:
         distinct: Dict[Variable, float] = {}
         if self._cost is not None:
             estimate = float(self._cost.atom_estimate(atom))
+            estimate = self._apply_correction(
+                node.key, frozenset((atom.predicate,)), estimate
+            )
             first_position: Dict[Variable, int] = {}
             for position, arg in enumerate(atom.args):
                 if is_variable(arg) and arg not in first_position:
@@ -436,6 +502,7 @@ class UnionPlan:
                     float(self._cost.column_distinct(atom.predicate, position)),
                     max(estimate, 1.0),
                 )
+        self.estimates[node.key] = estimate
         return _Group(
             key=node.key,
             columns=node.columns,
@@ -487,6 +554,13 @@ class UnionPlan:
             self.stats.unique_fragments += 1
         self.stats.fragment_references += 1
         estimate = self._join_estimate(left, right)
+        if self._cost is not None:
+            estimate = self._apply_correction(
+                key,
+                frozenset(a.predicate for a in left.atoms + right.atoms),
+                estimate,
+            )
+        self.estimates[key] = estimate
         distinct: Dict[Variable, float] = {}
         if self._cost is not None:
             for variable in namespace:
@@ -556,10 +630,21 @@ class UnionPlan:
                 key, _ = preview(groups[i], groups[j])
                 exists = 0 if key in self.nodes else 1
                 both_shared = 0 if groups[i].shared and groups[j].shared else 1
+                estimate = self._join_estimate(groups[i], groups[j])
+                if self.feedback is not None:
+                    estimate = self._apply_correction(
+                        key,
+                        frozenset(
+                            a.predicate
+                            for a in groups[i].atoms + groups[j].atoms
+                        ),
+                        estimate,
+                        count=False,
+                    )
                 return (
                     exists,
                     both_shared,
-                    self._join_estimate(groups[i], groups[j]),
+                    estimate,
                     key,
                     pair,
                 )
@@ -684,6 +769,7 @@ def compile_reformulation(
     data: Optional[FactsLike] = None,
     cost: Optional[CardinalityCostModel] = None,
     bushy: bool = True,
+    feedback: Optional[QErrorLog] = None,
 ) -> UnionPlan:
     """Compile ``result`` into a (lazily populated) shared union plan.
 
@@ -692,11 +778,14 @@ def compile_reformulation(
     correct if the data later changes — only join-order quality is tied to
     the statistics seen at compile time.  ``bushy=False`` restricts
     sharing to left-deep cost-order prefixes (the PR 3 shape, kept for
-    comparison benchmarks).
+    comparison benchmarks).  ``feedback`` (optional) supplies a
+    :class:`~repro.database.feedback.QErrorLog` whose version-scoped
+    cardinality corrections override the model's estimates during join
+    ordering (see ``docs/adaptivity.md``).
     """
     if cost is None and data is not None:
         cost = CardinalityCostModel(data)
-    return UnionPlan(result, cost, bushy=bushy)
+    return UnionPlan(result, cost, bushy=bushy, feedback=feedback)
 
 
 _ENSURE_LOCK = threading.Lock()
@@ -862,23 +951,53 @@ def _fragment_table(
     memo: _OnceMap,
     cache: Optional[FragmentCache] = None,
     columnar: bool = False,
+    feedback: Optional[QErrorLog] = None,
 ):
     """The table of fragment ``key``: a :class:`ColumnTable` in columnar
     mode, a row :class:`Table` otherwise.
 
     Memo and cross-call cache entries store whichever representation the
     computing call ran in; readers coerce on the way out, so a cache
-    shared between modes stays correct (at a one-off conversion cost)."""
+    shared between modes stays correct (at a one-off conversion cost).
+
+    ``feedback`` (optional) receives one ``(estimated, actual)``
+    observation per fragment *freshly computed* here — memo and
+    cross-call cache hits are reuses of an already-measured evaluation,
+    not new evidence, so they do not record."""
     node = plan.nodes[key]
 
     def build():
         if isinstance(node, ScanFragment):
             if columnar:
-                return _scan_columnar(node, source)
-            return _scan_table(node, source)
-        left = _fragment_table(plan, node.left_key, source, memo, cache, columnar)
-        right = _fragment_table(plan, node.right_key, source, memo, cache, columnar)
-        return _join_fragment_tables(node, left, right)
+                value = _scan_columnar(node, source)
+            else:
+                value = _scan_table(node, source)
+        else:
+            left = _fragment_table(
+                plan, node.left_key, source, memo, cache, columnar, feedback
+            )
+            right = _fragment_table(
+                plan, node.right_key, source, memo, cache, columnar, feedback
+            )
+            value = _join_fragment_tables(node, left, right)
+        if feedback is not None:
+            relations = plan.fragment_relations(key)
+            columns: Tuple[Tuple[str, int], ...] = ()
+            if isinstance(node, ScanFragment):
+                columns = tuple(
+                    (node.relation, position)
+                    for position, constant in enumerate(node.pattern)
+                    if constant is not WILDCARD
+                )
+            feedback.record(
+                key,
+                relations,
+                data_version_token(source, relations),
+                plan.estimates.get(key),
+                result_row_count(value),
+                columns,
+            )
+        return value
 
     def compute():
         if cache is not None and _worth_caching(node):
@@ -954,11 +1073,12 @@ def _evaluate_rewriting_plan(
     memo: _OnceMap,
     cache: Optional[FragmentCache] = None,
     columnar: Optional[bool] = None,
+    feedback: Optional[QErrorLog] = None,
 ) -> Set[Row]:
     if columnar is None:
         columnar = columnar_enabled()
     table = _fragment_table(
-        plan, rewriting_plan.root_key, source, memo, cache, columnar
+        plan, rewriting_plan.root_key, source, memo, cache, columnar, feedback
     )
     if columnar:
         return _columnar_root_answers(table, rewriting_plan)
@@ -1028,6 +1148,7 @@ def stream_plan_answers(
     cache: Optional[FragmentCache] = None,
     columnar: Optional[bool] = None,
     executor: Optional[str] = None,
+    feedback: Optional[QErrorLog] = None,
 ) -> Iterator[Row]:
     """Yield distinct answer rows of the union plan as fragments evaluate.
 
@@ -1056,6 +1177,14 @@ def stream_plan_answers(
     are then served from (and offered to) it under their data-version
     tokens, on top of the per-call memo.  Sources without per-relation
     data versions bypass the cache automatically.
+
+    ``feedback`` (optional) is a :class:`~repro.database.feedback.QErrorLog`
+    measuring every freshly computed fragment.  On the sequential path a
+    *blown* estimate (actual ≫ estimated, per the log's ``blowup_factor``)
+    additionally triggers mid-union re-optimization: the remaining
+    rewritings are recompiled against the just-learned corrections
+    (bounded to two re-plans per call; shared fragments already computed
+    are served from the per-call memo, so no work is repeated).
     """
     source = ensure_indexed(as_fact_source(data))
     memo = _OnceMap()
@@ -1063,14 +1192,39 @@ def stream_plan_answers(
     if columnar is None:
         columnar = columnar_enabled()
     if not max_workers or max_workers <= 1:
-        for rewriting_plan in plan.fragments():
+        replanning = (
+            feedback is not None and feedback.replan and plan._cost is not None
+        )
+        blown_seen = feedback.blown_events if feedback is not None else 0
+        replans_left = 2
+        fragment_iter = plan.fragments()
+        consumed = 0
+        while True:
+            try:
+                rewriting_plan = next(fragment_iter)
+            except StopIteration:
+                return
+            consumed += 1
             for row in _evaluate_rewriting_plan(
-                plan, rewriting_plan, source, memo, cache, columnar
+                plan, rewriting_plan, source, memo, cache, columnar, feedback
             ):
                 if row not in seen:
                     seen.add(row)
                     yield row
-        return
+            if (
+                replanning
+                and replans_left > 0
+                and feedback.blown_events > blown_seen
+            ):
+                # An estimate just blew up: the corrections recorded for it
+                # may reorder the joins of everything not yet evaluated.
+                blown_seen = feedback.blown_events
+                replans_left -= 1
+                feedback.stats.replans += 1
+                plan = UnionPlan(
+                    plan.result, plan._cost, bushy=plan.bushy, feedback=feedback
+                )
+                fragment_iter = islice(plan.fragments(), consumed, None)
 
     if executor is None:
         executor = shared_executor()
@@ -1079,8 +1233,12 @@ def stream_plan_answers(
 
         def submit_process(pool, rewriting_plan):
             nodes = _collect_subplan(plan, rewriting_plan.root_key)
+            # Only the parent-side scans are measured: join fragments run
+            # in worker processes where the feedback log cannot reach.
             scans = {
-                key: _fragment_table(plan, key, source, memo, cache, columnar)
+                key: _fragment_table(
+                    plan, key, source, memo, cache, columnar, feedback
+                )
                 for key, node in nodes.items()
                 if isinstance(node, ScanFragment)
             }
@@ -1102,6 +1260,7 @@ def stream_plan_answers(
                 memo,
                 cache,
                 columnar,
+                feedback,
             )
 
         pool = ThreadPoolExecutor(
@@ -1139,6 +1298,7 @@ def evaluate_plan(
     cache: Optional[FragmentCache] = None,
     columnar: Optional[bool] = None,
     executor: Optional[str] = None,
+    feedback: Optional[QErrorLog] = None,
 ) -> Set[Row]:
     """Evaluate the whole union plan (or the first ``limit`` answers)."""
     if limit is not None and limit < 0:
@@ -1153,6 +1313,7 @@ def evaluate_plan(
         cache=cache,
         columnar=columnar,
         executor=executor,
+        feedback=feedback,
     ):
         answers.add(row)
         if limit is not None and len(answers) >= limit:

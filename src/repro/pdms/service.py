@@ -59,11 +59,16 @@ runtime layered on top.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from ..config import adaptive_enabled
+from ..config import race_margin as race_margin_from_env
+from ..database.feedback import AdaptiveStats, QErrorLog
 from ..database.instance import Instance
+from ..database.planner import CardinalityCostModel
 from ..datalog.evaluation import FactsLike
 from ..datalog.queries import ConjunctiveQuery
 from ..errors import EvaluationError, PDMSConfigurationError
@@ -117,6 +122,9 @@ class ServiceStats:
     plan_invalidations: int = 0
     #: Fragment-cache counters (hits/misses/admissions/evictions/…).
     fragments: FragmentCacheStats = field(default_factory=FragmentCacheStats)
+    #: Self-tuning loop counters (q-error percentiles, corrections, races,
+    #: re-plans; all zeros when ``REPRO_ADAPTIVE`` is off).
+    adaptive: AdaptiveStats = field(default_factory=AdaptiveStats)
 
     @property
     def lookups(self) -> int:
@@ -139,7 +147,25 @@ class ServiceStats:
             "plans_compiled": self.plans_compiled,
             "plan_invalidations": self.plan_invalidations,
             "fragments": self.fragments.as_dict(),
+            "adaptive": self.adaptive.as_dict(),
         }
+
+
+#: Champion/challenger races a cached plan may run per adopted champion —
+#: racing doubles the evaluation work, so it has to be bounded.
+_RACE_BUDGET = 3
+
+
+@dataclass
+class _AdaptiveState:
+    """Per-signature adaptive planning state (guarded by the service mutex)."""
+
+    #: The incumbent plan live traffic is served with.
+    plan: UnionPlan
+    #: Feedback-log generation the champion was last (re)validated at.
+    generation: int
+    #: Remaining championship races for this champion.
+    races_left: int = _RACE_BUDGET
 
 
 class QueryService:
@@ -174,6 +200,23 @@ class QueryService:
         Byte budget for a service-owned fragment cache; ``0`` disables
         cross-call fragment caching.  When neither parameter is given the
         budget comes from ``REPRO_FRAGMENT_CACHE_BYTES`` (64 MiB default).
+    adaptive:
+        Whether the self-tuning loop runs (``None`` follows
+        ``REPRO_ADAPTIVE``, off by default): fragment evaluations over
+        the service's own data are measured into a
+        :class:`~repro.database.feedback.QErrorLog`, estimation errors
+        become version-scoped cardinality corrections, and plans are
+        recompiled and raced champion/challenger as corrections
+        accumulate.  See ``docs/adaptivity.md``.
+    race_margin:
+        Cost ratio within which a challenger plan is raced against the
+        champion (``None`` follows ``REPRO_RACE_MARGIN``, default 2.0;
+        must be >= 1.0).
+    feedback:
+        A prebuilt :class:`~repro.database.feedback.QErrorLog` to record
+        into (e.g. one shared across services, or a measurement-only log
+        with ``adaptive`` left off).  With ``adaptive`` on and no log
+        given, the service creates its own.
     """
 
     def __init__(
@@ -185,6 +228,9 @@ class QueryService:
         max_entries: int = 1024,
         fragment_cache: Optional[FragmentCache] = None,
         fragment_cache_bytes: Optional[int] = None,
+        adaptive: Optional[bool] = None,
+        race_margin: Optional[float] = None,
+        feedback: Optional[QErrorLog] = None,
     ):
         try:
             engine = validate_engine(engine if engine is not None else default_engine())
@@ -203,6 +249,13 @@ class QueryService:
                 )
             else:
                 self._fragments = fragment_cache_from_env()
+            self._adaptive = adaptive if adaptive is not None else adaptive_enabled()
+            margin = race_margin if race_margin is not None else race_margin_from_env()
+            if margin < 1.0:
+                raise EvaluationError(
+                    f"race_margin must be >= 1.0, got {margin}"
+                )
+            self._race_margin = float(margin)
         except EvaluationError as exc:
             # Construction-time mistakes are configuration errors.
             raise PDMSConfigurationError(str(exc)) from exc
@@ -228,6 +281,17 @@ class QueryService:
             # Alias the live cache's counters so `stats.fragments` is
             # always current without copying.
             self._stats.fragments = self._fragments.stats
+        self._feedback = (
+            feedback
+            if feedback is not None
+            else (QErrorLog() if self._adaptive else None)
+        )
+        if self._feedback is not None:
+            # Same aliasing treatment for the feedback counters.
+            self._stats.adaptive = self._feedback.stats
+        #: Per-signature champion plans (adaptive mode only), invalidated
+        #: together with the plan cache.
+        self._champions: Dict[str, _AdaptiveState] = {}
         self._peer_data: Dict[str, Instance] = {}
         self._flat_data: Optional[FactsLike] = None
         self._combined: Optional[FactsLike] = None
@@ -244,8 +308,47 @@ class QueryService:
 
     @property
     def stats(self) -> ServiceStats:
-        """Cache behaviour counters."""
+        """Cache behaviour counters (the **live**, mutating object).
+
+        ``stats.fragments`` and ``stats.adaptive`` alias the underlying
+        caches' counters, so values read here move while the service is
+        answering.  Before/after comparisons should use
+        :meth:`stats_snapshot`.
+        """
         return self._stats
+
+    def stats_snapshot(self) -> ServiceStats:
+        """An independent copy of every counter, frozen at this moment.
+
+        Unlike :attr:`stats`, nothing in the returned object aliases live
+        state: ``fragments`` and ``adaptive`` are copied, so two snapshots
+        taken around an operation diff cleanly.  q-error percentiles are
+        refreshed from the feedback log's sample reservoir first.
+        """
+        with self._mutex:
+            if self._feedback is not None:
+                self._feedback.refresh_percentiles()
+            s = self._stats
+            return ServiceStats(
+                hits=s.hits,
+                misses=s.misses,
+                invalidations=s.invalidations,
+                evictions=s.evictions,
+                plans_compiled=s.plans_compiled,
+                plan_invalidations=s.plan_invalidations,
+                fragments=replace(s.fragments),
+                adaptive=s.adaptive.snapshot(),
+            )
+
+    @property
+    def feedback(self) -> Optional[QErrorLog]:
+        """The estimation-feedback log (``None`` unless adaptive or supplied)."""
+        return self._feedback
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether the self-tuning loop is on for this service."""
+        return self._adaptive
 
     @property
     def catalogue_version(self) -> int:
@@ -259,8 +362,13 @@ class QueryService:
 
     @property
     def plan_cache_size(self) -> int:
-        """Number of currently cached compiled union plans."""
-        return len(self._plans)
+        """Number of currently cached compiled union plans.
+
+        Adaptive services keep their plans as champions (one per query
+        signature, possibly racing challengers); static plans and
+        champions never coexist for one signature, so the sum counts
+        each cached query once."""
+        return len(self._plans) + len(self._champions)
 
     @property
     def fragment_cache(self) -> Optional[FragmentCache]:
@@ -356,6 +464,11 @@ class QueryService:
                     # entries for identically named relations; leave those to
                     # version-token staleness and the LRU.
                     self._fragments.invalidate_relations(departed.relations())
+                if self._feedback is not None:
+                    # Cardinality corrections over the departed peer's
+                    # relations would be token-rejected anyway; drop them
+                    # eagerly like the fragment entries above.
+                    self._feedback.invalidate_relations(departed.relations())
             self._sync()
             return change
 
@@ -367,7 +480,8 @@ class QueryService:
             return change
 
     def _drop_plan(self, signature: str) -> None:
-        if self._plans.pop(signature, None) is not None:
+        champion = self._champions.pop(signature, None)
+        if self._plans.pop(signature, None) is not None or champion is not None:
             self._stats.plan_invalidations += 1
 
     def _sync(self) -> None:
@@ -391,6 +505,7 @@ class QueryService:
                 self._stats.plan_invalidations += len(self._plans)
                 self._cache.clear()
                 self._plans.clear()
+                self._champions.clear()
                 if self._fragments is not None and self._owns_fragment_cache:
                     self._fragments.clear()
                 break
@@ -406,6 +521,8 @@ class QueryService:
                 # evicts the dependent entries.  Peer-relation predicates
                 # simply never intersect, making this a cheap no-op.
                 self._fragments.invalidate_relations(change.affected_predicates)
+            if self._feedback is not None and change.affected_predicates:
+                self._feedback.invalidate_relations(change.affected_predicates)
             stale = [
                 signature
                 for signature, result in self._cache.items()
@@ -468,6 +585,114 @@ class QueryService:
                 self._stats.plans_compiled += 1
             return plan
 
+    def _adaptive_plan(
+        self,
+        signature: str,
+        result: ReformulationResult,
+        source: FactsLike,
+        racing: bool,
+    ) -> Tuple[UnionPlan, Optional[UnionPlan]]:
+        """The champion plan for ``signature`` and, possibly, a challenger.
+
+        The champion is compiled with the feedback log attached, so its
+        join ordering applies the corrections known at compile time and
+        its execution keeps measuring.  Whenever the log's ``generation``
+        moved since the champion was validated (new or materially changed
+        corrections), a candidate is recompiled against the current
+        corrections: a differently shaped candidate within
+        ``race_margin`` of the champion's corrected cost becomes a
+        *challenger* to race (budgeted per champion); a candidate cheaper
+        than the champion after the budget is spent is adopted outright
+        (its shape already proved itself or corrections are unambiguous).
+        Called under the service mutex.
+        """
+        feedback = self._feedback
+        state = self._champions.get(signature)
+        if state is None or state.plan.result is not result:
+            plan = UnionPlan(
+                result, CardinalityCostModel.pinless(source), feedback=feedback
+            )
+            state = _AdaptiveState(plan=plan, generation=feedback.generation)
+            self._champions[signature] = state
+            self._stats.plans_compiled += 1
+            return state.plan, None
+        if not racing or feedback.generation == state.generation:
+            return state.plan, None
+        state.generation = feedback.generation
+        candidate = UnionPlan(
+            result, CardinalityCostModel.pinless(source), feedback=feedback
+        )
+        candidate_cost = candidate.estimated_cost()
+        champion_cost = state.plan.estimated_cost()
+        if set(candidate.nodes) == set(state.plan.nodes):
+            # Same shape — corrections did not change the plan, so the
+            # candidate is the same execution with refreshed estimates.
+            # Adopt it without racing: future observations then measure
+            # q-error against current knowledge, not the original guess.
+            state.plan = candidate
+            return state.plan, None
+        if state.races_left <= 0:
+            if candidate_cost < champion_cost:
+                state.plan = candidate
+            return state.plan, None
+        if candidate_cost <= champion_cost * self._race_margin:
+            state.races_left -= 1
+            return state.plan, candidate
+        return state.plan, None
+
+    def _evaluate_candidate(
+        self,
+        result: ReformulationResult,
+        source: FactsLike,
+        engine: str,
+        plan: UnionPlan,
+        feedback: Optional[QErrorLog],
+    ) -> Tuple[Set[Row], float]:
+        """One timed, cache-less evaluation of a candidate plan (racing)."""
+        started = time.perf_counter()
+        rows = evaluate_reformulation(
+            result, source, engine=engine, plan=plan, cache=None, feedback=feedback
+        )
+        return rows, time.perf_counter() - started
+
+    def _race(
+        self,
+        signature: str,
+        result: ReformulationResult,
+        source: FactsLike,
+        engine: str,
+        champion: UnionPlan,
+        challenger: UnionPlan,
+        feedback: QErrorLog,
+    ) -> Set[Row]:
+        """Race champion vs challenger on one live query.
+
+        Both plans evaluate fully (no cross-call cache, so the timing is
+        the plans' own); the challenger is adopted only when its answer
+        set is *identical* and it was faster.  The champion's rows are
+        what the caller is served either way — a losing or mismatching
+        challenger never contributes rows to an answer.
+        """
+        champion_rows, champion_seconds = self._evaluate_candidate(
+            result, source, engine, champion, feedback
+        )
+        challenger_rows, challenger_seconds = self._evaluate_candidate(
+            result, source, engine, challenger, feedback
+        )
+        with self._mutex:
+            feedback.stats.races_run += 1
+            if challenger_rows != champion_rows:
+                # Should be impossible (all plans of one reformulation are
+                # answer-equivalent); counted loudly, champion kept.
+                feedback.stats.races_mismatched += 1
+            elif challenger_seconds < champion_seconds:
+                state = self._champions.get(signature)
+                if state is not None and state.plan is champion:
+                    state.plan = challenger
+                    state.races_left = _RACE_BUDGET
+                    feedback.stats.races_won += 1
+        return champion_rows
+
     def clear_cache(self) -> None:
         """Drop every cached reformulation, plan, and fragment table
         (counters are preserved).
@@ -478,6 +703,7 @@ class QueryService:
         with self._mutex:
             self._cache.clear()
             self._plans.clear()
+            self._champions.clear()
             if self._fragments is not None and self._owns_fragment_cache:
                 self._fragments.clear()
 
@@ -497,10 +723,26 @@ class QueryService:
         stops once ``k`` distinct answers are known — a subset of the
         full answer set.  Plan-consuming engines (``"shared"``) reuse the
         compiled union plan cached alongside the reformulation.
+
+        In adaptive mode a full-answer call may additionally *race* the
+        cached champion plan against a freshly corrected challenger (see
+        ``docs/adaptivity.md``); the served rows always come from the
+        champion.
         """
-        engine, source, result, plan, cache = self._prepare(query, engine, data)
+        prepared = self._prepare(query, engine, data, racing=limit is None)
+        engine, source, result, plan, cache, feedback, sig, challenger = prepared
+        if challenger is not None and plan is not None and feedback is not None:
+            return self._race(
+                sig, result, source, engine, plan, challenger, feedback
+            )
         return evaluate_reformulation(
-            result, source, engine=engine, limit=limit, plan=plan, cache=cache
+            result,
+            source,
+            engine=engine,
+            limit=limit,
+            plan=plan,
+            cache=cache,
+            feedback=feedback,
         )
 
     def _prepare(
@@ -508,31 +750,43 @@ class QueryService:
         query: ConjunctiveQuery,
         engine: Optional[str],
         data: Union[FactsLike, Mapping[str, Instance], None],
+        racing: bool = False,
     ):
         """Resolve engine/data/reformulation/plan/cache for one call.
 
         Runs entirely under the service mutex so concurrent callers see a
         consistent (source, reformulation, plan) triple; the evaluation
-        itself happens outside the lock.
+        itself happens outside the lock.  Returns
+        ``(engine, source, result, plan, cache, feedback, signature,
+        challenger)``; ``challenger`` is non-``None`` only when
+        ``racing`` and the adaptive loop proposed a plan to race.
         """
         engine = validate_engine(engine if engine is not None else self._engine)
         with self._mutex:
             source = self._data(data)
             signature, result = self._lookup(canonicalize_query(query))
-            plan = None
-            if getattr(get_engine(engine), "uses_plans", False):
-                plan = self._plan_for(signature, result, source)
             # The fragment cache holds one entry per fragment key, keyed to
             # the service's own data by version token.  A one-off data
             # override would churn those warm entries (admit under its own
             # tokens, evicting same-key entries), so overrides bypass the
             # cache; the identity checks keep answer_batch's pre-resolved
-            # shared source on the cached path.
+            # shared source on the cached path.  Feedback follows the same
+            # rule: corrections must describe the service's own data.
             own_data = (
                 data is None or source is self._flat_data or source is self._combined
             )
             cache = self._fragments if own_data else None
-            return engine, source, result, plan, cache
+            feedback = self._feedback if own_data else None
+            plan = None
+            challenger = None
+            if getattr(get_engine(engine), "uses_plans", False):
+                if self._adaptive and feedback is not None:
+                    plan, challenger = self._adaptive_plan(
+                        signature, result, source, racing
+                    )
+                else:
+                    plan = self._plan_for(signature, result, source)
+            return engine, source, result, plan, cache, feedback, signature, challenger
 
     def stream(
         self,
@@ -548,8 +802,12 @@ class QueryService:
         being consumed.  Callers who need post-churn answers should call
         :meth:`answer` (or :meth:`stream` again) after the change.
         """
-        engine, source, result, plan, cache = self._prepare(query, engine, data)
-        return stream_answers(result, source, engine=engine, plan=plan, cache=cache)
+        engine, source, result, plan, cache, feedback, _, _ = self._prepare(
+            query, engine, data
+        )
+        return stream_answers(
+            result, source, engine=engine, plan=plan, cache=cache, feedback=feedback
+        )
 
     def answer_batch(
         self,

@@ -273,9 +273,12 @@ class TestCachedExecution:
         service = QueryService(pdms, data={"P": instance}, engine="shared")
         service.answer(query)
         service.answer(query)
-        assert service.stats.fragments.hits > 0
-        assert service.stats.fragments.admissions > 0
-        assert 0.0 < service.stats.fragments.hit_rate < 1.0
+        # A snapshot is the supported way to read counters: it is an
+        # independent copy, not an alias onto the mutating live stats.
+        fragments = service.stats_snapshot().fragments
+        assert fragments.hits > 0
+        assert fragments.admissions > 0
+        assert 0.0 < fragments.hit_rate < 1.0
         assert service.fragment_cache is not None
 
     def test_service_fragment_cache_can_be_disabled(self):
@@ -300,16 +303,16 @@ class TestCachedExecution:
         service = QueryService(pdms, data={"P": instance}, engine="shared")
         expected = service.answer(query)
         warm_keys = service.fragment_cache.cached_keys()
-        lookups = service.stats.fragments.lookups
+        before = service.stats_snapshot()
         override = instance.copy()
         override.add("s_a3_0", (5, 321))
         assert (1, 321) in service.answer(query, data={"P": override})
         assert service.fragment_cache.cached_keys() == warm_keys
-        assert service.stats.fragments.lookups == lookups
+        assert service.stats_snapshot().fragments.lookups == before.fragments.lookups
         # The warm set still serves the service's own data.
-        hits = service.stats.fragments.hits
+        hits = service.stats_snapshot().fragments.hits
         assert service.answer(query) == expected
-        assert service.stats.fragments.hits > hits
+        assert service.stats_snapshot().fragments.hits > hits
 
     def test_external_shared_cache_is_not_cleared_by_one_service(self):
         pdms, query, instance = _two_hop_pdms()

@@ -88,7 +88,7 @@ def test_concurrent_answers_keep_counters_exact(engine):
     for thread in threads:
         thread.join(timeout=120)
     assert not errors, errors[:5]
-    stats = service.stats
+    stats = service.stats_snapshot()
     total = THREADS * ROUNDS
     # Lost updates would make these sums fall short of the call count.
     assert stats.lookups == total
@@ -112,7 +112,7 @@ def test_concurrent_answers_with_lru_eviction_pressure():
             ],
             range(THREADS),
         ))
-    stats = service.stats
+    stats = service.stats_snapshot()
     total = THREADS * ROUNDS
     assert stats.lookups == total
     assert stats.hits + stats.misses == total
