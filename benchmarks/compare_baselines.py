@@ -65,6 +65,11 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("cases.transport_overhead.loopback_relative_throughput", "timing"),
         ("cases.concurrent_clients.concurrency_speedup", "timing"),
     ),
+    "BENCH_sharding.json": (
+        ("cases.churn_scaling.qps_scaling_1_to_4", "timing"),
+        ("cases.cache_tier_warm.warm_speedup", "timing"),
+        ("cases.partition_pruning.scan_prune_factor", "exact"),
+    ),
     "BENCH_adaptive.json": (
         ("cases.convergence.adaptive_speedup", "timing"),
         ("cases.convergence.q_error_drop", "exact"),

@@ -154,6 +154,32 @@ def adaptive_enabled() -> bool:
     return bool_from_env("REPRO_ADAPTIVE", False)
 
 
+def shards() -> int:
+    """Shards per peer relation in the distributed engine (``REPRO_SHARDS``).
+
+    ``0`` (the default) and ``1`` mean no sharding.  Values >= 2 make the
+    distributed engine's loopback wrap path hash-partition every peer
+    relation across that many shard instances (see
+    :func:`repro.pdms.distributed.sharding.auto_shard`), enabling
+    partition-pruned scatter-gather.  Explicitly built clusters pass their
+    own :class:`~repro.pdms.distributed.sharding.ShardMap` instead.
+    """
+    return int_from_env("REPRO_SHARDS", 0)
+
+
+def cache_tier_enabled() -> bool:
+    """Whether services attach the shared cache tier (``REPRO_CACHE_TIER``).
+
+    Off by default.  When on, every :class:`repro.pdms.service.QueryService`
+    that owns its fragment cache consults the process-global cache-tier
+    peer (:func:`repro.pdms.distributed.cache_tier.default_cache_tier`)
+    between its local LRU and a fresh compute, so warm fragments are
+    shared across services.  A failed cache peer degrades to
+    compute-locally — never to wrong answers.  See ``docs/sharding.md``.
+    """
+    return bool_from_env("REPRO_CACHE_TIER", False)
+
+
 def race_margin() -> float:
     """Cost ratio that makes a challenger raceable (``REPRO_RACE_MARGIN``).
 

@@ -23,12 +23,24 @@ real:
   ``completeness`` flag when peers fail;
 * :mod:`~repro.pdms.distributed.cluster` — :class:`ServiceCluster`, a
   concurrency-safe front end over :class:`~repro.pdms.service.QueryService`
-  with bounded admission (``REPRO_MAX_INFLIGHT``).
+  with bounded admission (``REPRO_MAX_INFLIGHT``);
+* :mod:`~repro.pdms.distributed.sharding` — :class:`ShardMap` placement
+  (hash/range partitioning of peer relations across worker shards) with
+  stable cross-process routing hashes and partition-pruned scan owner
+  resolution;
+* :mod:`~repro.pdms.distributed.cache_tier` — the shared fragment-cache
+  peer (:class:`FragmentStore` + :class:`CacheTierClient`) every
+  :class:`~repro.pdms.materialization.FragmentCache` can consult between
+  its local LRU and a fresh compute.
 
 See ``docs/distributed.md`` for the wire contract, failure semantics, and
-the consolidated table of every ``REPRO_*`` environment knob.
+the consolidated table of every ``REPRO_*`` environment knob, and
+``docs/sharding.md`` for placement, pruning, and cache-tier semantics.
 """
 
+# Backward-compatible alias: the reader moved into the consolidated knob
+# module (repro.config) with every other REPRO_* reader.
+from ...config import max_inflight as max_inflight_from_env
 from .transport import (
     LoopbackTransport,
     Transport,
@@ -36,22 +48,50 @@ from .transport import (
     encode_pattern,
 )
 from .process import ProcessTransport
+from .sharding import (
+    HashPartition,
+    RangePartition,
+    ShardMap,
+    auto_shard,
+    insert_routed,
+    shard_peer_names,
+    stable_shard_hash,
+)
+from .cache_tier import (
+    CACHE_PEER,
+    CacheTierClient,
+    FragmentStore,
+    default_cache_tier,
+    reset_default_cache_tier,
+)
 from .source import RemotePeerFactSource, ScanFailure
 from .engine import DistributedAnswer, DistributedEngine, evaluate_distributed
-from .cluster import ClusterAnswer, ServiceCluster, max_inflight_from_env
+from .cluster import ClusterAnswer, ServiceCluster
 
 __all__ = [
+    "CACHE_PEER",
+    "CacheTierClient",
     "ClusterAnswer",
     "DistributedAnswer",
     "DistributedEngine",
+    "FragmentStore",
+    "HashPartition",
     "LoopbackTransport",
     "ProcessTransport",
+    "RangePartition",
     "RemotePeerFactSource",
     "ScanFailure",
     "ServiceCluster",
+    "ShardMap",
     "Transport",
+    "auto_shard",
     "decode_pattern",
+    "default_cache_tier",
     "encode_pattern",
     "evaluate_distributed",
+    "insert_routed",
     "max_inflight_from_env",
+    "reset_default_cache_tier",
+    "shard_peer_names",
+    "stable_shard_hash",
 ]

@@ -29,7 +29,7 @@ whose provenance invalidation is unchanged.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ...datalog.queries import ConjunctiveQuery
 from ...errors import EvaluationError, PDMSConfigurationError
@@ -38,18 +38,9 @@ from ..service import QueryService, ServiceStats
 from ..system import PDMS
 from ...config import max_inflight as _config_max_inflight
 from .engine import DistributedAnswer
+from .sharding import ShardMap, insert_routed
 from .source import RemotePeerFactSource
-from .transport import Transport
-
-
-def max_inflight_from_env() -> int:
-    """Admission bound from ``REPRO_MAX_INFLIGHT`` (0 = unbounded).
-
-    Malformed values fail fast, like every other ``REPRO_*`` knob —
-    delegates to the consolidated reader (:func:`repro.config.max_inflight`).
-    """
-    return _config_max_inflight()
-
+from .transport import Row, Transport
 
 #: One answered query with its completeness verdict — the same envelope
 #: :func:`~repro.pdms.distributed.engine.evaluate_distributed` returns,
@@ -83,6 +74,15 @@ class ServiceCluster:
     max_inflight:
         Concurrent-answer bound; default ``REPRO_MAX_INFLIGHT`` (0 =
         unbounded).
+    shard_map:
+        A :class:`~repro.pdms.distributed.sharding.ShardMap` describing
+        how the transport's peers partition relations; enables partition
+        pruning in the scatter-gather rounds and shard-aware
+        :meth:`insert` routing.
+    cache_tier:
+        A :class:`~repro.pdms.distributed.cache_tier.CacheTierClient`
+        consulted by the service's fragment cache between its local LRU
+        and a fresh compute (see ``docs/sharding.md``).
     """
 
     def __init__(
@@ -94,7 +94,10 @@ class ServiceCluster:
         engine: str = "distributed",
         max_inflight: Optional[int] = None,
         fragment_cache_bytes: Optional[int] = None,
+        shard_map: Optional[ShardMap] = None,
+        cache_tier: Optional[object] = None,
     ):
+        self._shard_map = shard_map
         if service is not None:
             if pdms is not None or transport is not None:
                 raise PDMSConfigurationError(
@@ -110,19 +113,20 @@ class ServiceCluster:
                     "ServiceCluster needs a transport (or a prebuilt service)"
                 )
             self._transport = transport
-            self._source = RemotePeerFactSource(transport)
+            self._source = RemotePeerFactSource(transport, shard_map=shard_map)
             self._service = QueryService(
                 pdms,
                 config=config,
                 engine=engine,
                 data=self._source,
                 fragment_cache_bytes=fragment_cache_bytes,
+                cache_tier=cache_tier,
             )
         if max_inflight is not None:
             bound = max_inflight
         else:
             try:
-                bound = max_inflight_from_env()
+                bound = _config_max_inflight()
             except EvaluationError as exc:
                 # Construction-time mistakes are configuration errors,
                 # exactly as in QueryService.
@@ -152,6 +156,11 @@ class ServiceCluster:
     def transport(self) -> Optional[Transport]:
         """The transport the cluster fronts, when it built its own source."""
         return self._transport
+
+    @property
+    def shard_map(self) -> Optional[ShardMap]:
+        """The placement map scans are pruned against (``None`` = unsharded)."""
+        return self._shard_map
 
     @property
     def stats(self) -> ServiceStats:
@@ -197,7 +206,42 @@ class ServiceCluster:
         if self._source is not None:
             snapshot["unreachable_peers"] = self._source.unreachable_peers
             snapshot["transport_failures"] = self._source.failure_count
+            snapshot["scatter"] = self._source.scatter_stats()
+        if self._shard_map is not None:
+            snapshot["sharding"] = self._shard_map.describe()
         return snapshot
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, relation: str, rows: Iterable[Row]) -> int:
+        """Route ``rows`` to their owning peers and insert them.
+
+        With a shard map, each row goes to the shard group its partition
+        column hashes (or ranges) into; otherwise every current owner of
+        ``relation`` receives the batch (single-owner in practice).
+        Returns the number of distinct rows routed.  Transport faults
+        propagate — a write that did not land must not look like one that
+        did.
+        """
+        if self._transport is None:
+            raise PDMSConfigurationError(
+                "insert needs a cluster that fronts its own transport"
+            )
+        fallback: Sequence[str] = ()
+        if self._source is not None and (
+            self._shard_map is None or not self._shard_map.is_sharded(relation)
+        ):
+            fallback = self._source.owners(relation)
+        count = insert_routed(
+            self._transport,
+            self._shard_map,
+            relation,
+            rows,
+            fallback_peers=fallback,
+        )
+        if self._source is not None:
+            self._source.refresh()
+        return count
 
     # -- answering ---------------------------------------------------------
 

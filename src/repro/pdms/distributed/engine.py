@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Set, Tuple
 
+from ...config import shards as _config_shards
 from ...database.feedback import QErrorLog
 from ...datalog.evaluation import as_fact_source
 from ...datalog.indexing import ensure_indexed
@@ -54,17 +55,37 @@ from ..execution import (
     federate_if_per_peer,
     register_engine,
 )
-from ..materialization import FragmentCache
+from ..materialization import FragmentCache, data_version_token
 from ..planning import (
     UnionPlan,
     _OnceMap,
     _evaluate_rewriting_plan,
+    _worth_caching,
     ensure_plan,
     stream_plan_answers,
 )
 from ..reformulation import ReformulationResult
+from .sharding import auto_shard
 from .source import RemotePeerFactSource, ScanFailure
 from .transport import LoopbackTransport
+
+
+def _loopback_source(instances) -> RemotePeerFactSource:
+    """Wrap live per-peer instances in a per-call loopback boundary.
+
+    With ``REPRO_SHARDS`` >= 2 the instances are first hash-partitioned
+    across that many shard instances per peer (memoized per data version,
+    so repeated calls over unchanged data keep stable shard identities —
+    and therefore stable version tokens for the fragment caches), and the
+    resulting source carries the shard map for partition pruning.
+    """
+    n = _config_shards()
+    if n > 1:
+        shard_map, workers = auto_shard(instances, n)
+        return RemotePeerFactSource(
+            LoopbackTransport(workers), shard_map=shard_map
+        )
+    return RemotePeerFactSource(LoopbackTransport(instances))
 
 
 @dataclass(frozen=True)
@@ -122,7 +143,7 @@ class DistributedEngine:
             # Wrap the live per-peer instances in a per-call loopback
             # boundary: same answers, but every probe crosses the wire
             # contract — this is what the tier-1 matrix leg exercises.
-            remote = RemotePeerFactSource(LoopbackTransport(data.instances()))
+            remote = _loopback_source(data.instances())
             owns_source = True
         source = remote if remote is not None else data
         try:
@@ -138,11 +159,28 @@ class DistributedEngine:
             memo = _OnceMap()
             seen: Set[Row] = set()
             for rewriting_plan in plan.fragments():
-                # Scatter: every stored-relation scan under this root, one
-                # batched RPC per owning peer, concurrently.  Gathered rows
-                # land in the source's memo, so fragment evaluation below
-                # never blocks on the wire.
-                remote.prefetch(plan.scan_requests(rewriting_plan.root_key))
+                root_key = rewriting_plan.root_key
+                # A fragment already warm in the cache (locally or in the
+                # shared tier) will be served without touching the wire, so
+                # its whole scatter round can be skipped — this is where a
+                # cross-process cache-tier hit beats a cold compute.
+                prefetch_needed = True
+                if cache is not None and _worth_caching(plan.nodes[root_key]):
+                    relations = plan.fragment_relations(root_key)
+                    token = data_version_token(remote, relations)
+                    if token is not None and cache.peek(
+                        root_key, token, relations
+                    ):
+                        prefetch_needed = False
+                if prefetch_needed:
+                    # Scatter: every stored-relation scan under this root,
+                    # one batched RPC per owning peer, concurrently —
+                    # pruned to owning shards where the pattern allows.
+                    # Gathered rows land in the source's memo, so fragment
+                    # evaluation below never blocks on the wire.
+                    remote.prefetch(
+                        plan.scan_requests(root_key, shard_map=remote.shard_map)
+                    )
                 for row in _evaluate_rewriting_plan(
                     plan, rewriting_plan, indexed, memo, cache, feedback=feedback
                 ):
@@ -182,7 +220,7 @@ def evaluate_distributed(
                 "RemotePeerFactSource; flat fact sources have no peer "
                 "boundary to report completeness for"
             )
-        source = RemotePeerFactSource(LoopbackTransport(federated.instances()))
+        source = _loopback_source(federated.instances())
         owns_source = True
     window_start = source.failure_count
     try:

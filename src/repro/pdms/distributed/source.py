@@ -76,6 +76,14 @@ class RemotePeerFactSource:
         The peer boundary to probe through.
     peers:
         Subset of the transport's peers to serve (default: all).
+    shard_map:
+        Optional :class:`~repro.pdms.distributed.sharding.ShardMap`
+        describing how relations are horizontally partitioned across the
+        transport's peers.  When present, scans whose pattern binds the
+        partition column to a constant are *pruned* to the owning shard
+        group instead of fanning out to every owner; everything else is
+        unchanged — per-shard version tokens already combine into the
+        composite token via the sorted-token aggregation below.
 
     Construction performs the first :meth:`refresh` — one ``describe``
     round per peer establishing the relation routing table (with the same
@@ -84,8 +92,14 @@ class RemotePeerFactSource:
     version tokens the scan memo and fragment caches key on.
     """
 
-    def __init__(self, transport: Transport, peers: Optional[Iterable[str]] = None):
+    def __init__(
+        self,
+        transport: Transport,
+        peers: Optional[Iterable[str]] = None,
+        shard_map: Optional[object] = None,
+    ):
         self._transport = transport
+        self._shard_map = shard_map
         self._peer_names: Tuple[str, ...] = (
             tuple(peers) if peers is not None else tuple(transport.peers())
         )
@@ -103,6 +117,10 @@ class RemotePeerFactSource:
         self._degraded: Set[str] = set()
         self._unreachable: Set[str] = set()
         self._failures: List[ScanFailure] = []
+        self._pruned_scans = 0
+        self._fanout_scans = 0
+        self._pruned_waves = 0
+        self._fanout_waves = 0
         self._executor = None
         self._closed = False
         self.refresh()
@@ -180,6 +198,28 @@ class RemotePeerFactSource:
             self._cards = cards
             self._tokens = new_tokens
 
+    @property
+    def shard_map(self) -> Optional[object]:
+        """The placement map scans are pruned against (``None`` = unsharded)."""
+        return self._shard_map
+
+    def scatter_stats(self) -> Dict[str, int]:
+        """Pruning effectiveness counters (monotone since construction).
+
+        ``pruned_scans`` / ``fanout_scans`` count individual wire scans by
+        whether shard pruning narrowed the owner set below the full route;
+        ``pruned_waves`` / ``fanout_waves`` count :meth:`prefetch` rounds
+        that fetched anything, a wave being *pruned* only when every scan
+        in it was.
+        """
+        with self._lock:
+            return {
+                "pruned_scans": self._pruned_scans,
+                "fanout_scans": self._fanout_scans,
+                "pruned_waves": self._pruned_waves,
+                "fanout_waves": self._fanout_waves,
+            }
+
     def relations(self) -> Tuple[str, ...]:
         """Stored relations currently reachable through this source."""
         with self._lock:
@@ -189,6 +229,11 @@ class RemotePeerFactSource:
         """How many peers serve ``relation`` (0 if unknown/unreachable)."""
         with self._lock:
             return len(self._routes.get(relation, ()))
+
+    def owners(self, relation: str) -> Tuple[str, ...]:
+        """The peers currently serving ``relation`` (write routing uses this)."""
+        with self._lock:
+            return self._routes.get(relation, ())
 
     def arity(self, relation: str) -> Optional[int]:
         """Arity of ``relation`` as described by its owners, if known."""
@@ -288,36 +333,87 @@ class RemotePeerFactSource:
             self._record_failure(peer, {relation for relation, _ in batch}, str(exc))
             return None
 
+    def _restricted_owners(
+        self,
+        relation: str,
+        owners_restriction: Optional[Iterable[str]],
+    ) -> Tuple[Tuple[str, ...], bool]:
+        """(owners to scan, was the route set narrowed?) — lock held.
+
+        ``owners_restriction`` is a shard-pruning hint (the peer group a
+        constant bound on the partition column resolves to); owners
+        outside the current routing table are dropped — a peer that left
+        holds no rows, so intersecting stays a sound *complete* scan of
+        what remains reachable (degradation is tracked separately).
+        """
+        routes = self._routes.get(relation, ())
+        if owners_restriction is None:
+            return routes, False
+        allowed = set(owners_restriction)
+        owners = tuple(owner for owner in routes if owner in allowed)
+        return owners, len(owners) < len(routes)
+
     def prefetch(
         self,
-        requests: Iterable[Tuple[str, Pattern]],
+        requests: Iterable[Sequence[object]],
         parallel: bool = True,
     ) -> int:
         """Scatter-gather every not-yet-memoized scan in ``requests``.
 
-        Requests are grouped into one batched RPC per owning peer; with
-        ``parallel`` (and a transport that benefits — worker processes, or
-        injected latency) the per-peer batches run concurrently on a
-        thread pool, so a rewriting touching *k* peers pays one RPC
-        round-trip instead of *k*.  Returns the number of scans fetched.
-        Transport faults degrade (see the module docstring); data errors
-        propagate.
+        Each request is ``(relation, pattern)`` or — as produced by
+        :meth:`UnionPlan.scan_requests(key, shard_map=...)
+        <repro.pdms.planning.UnionPlan.scan_requests>` —
+        ``(relation, pattern, owners)`` where a non-``None`` ``owners``
+        prunes the scan to that shard group.  Two-element requests are
+        pruned against this source's own :attr:`shard_map` when it has
+        one.  Requests are grouped into one batched RPC per owning peer;
+        with ``parallel`` (and a transport that benefits — worker
+        processes, or injected latency) the per-peer batches run
+        concurrently on a thread pool, so a rewriting touching *k* peers
+        pays one RPC round-trip instead of *k*.  Returns the number of
+        scans fetched.  Transport faults degrade (see the module
+        docstring); data errors propagate.
         """
         self._check_open()
         wanted: List[Tuple[str, EncodedPattern]] = []
         seen: Set[Tuple[str, EncodedPattern]] = set()
+        restrictions: Dict[Tuple[str, EncodedPattern], Optional[Tuple[str, ...]]] = {}
+        pruned_in_wave = 0
+        fanout_in_wave = 0
         with self._lock:
             generation = self._generation
-            for relation, pattern in requests:
+            for request in requests:
+                if len(request) == 3:
+                    relation, pattern, restriction = request
+                else:
+                    relation, pattern = request
+                    restriction = (
+                        self._shard_map.owners_for_pattern(relation, pattern)
+                        if self._shard_map is not None
+                        else None
+                    )
                 key = (relation, encode_pattern(pattern))
                 if key in self._memo or key in seen:
                     continue
                 seen.add(key)
                 wanted.append(key)
+                restrictions[key] = restriction
             groups: Dict[str, List[Tuple[str, EncodedPattern]]] = {}
             for key in wanted:
-                for owner in self._routes.get(key[0], ()):
+                owners, pruned = self._restricted_owners(key[0], restrictions[key])
+                if pruned:
+                    pruned_in_wave += 1
+                else:
+                    fanout_in_wave += 1
+                for owner in owners:
                     groups.setdefault(owner, []).append(key)
+            self._pruned_scans += pruned_in_wave
+            self._fanout_scans += fanout_in_wave
+            if wanted:
+                if fanout_in_wave == 0:
+                    self._pruned_waves += 1
+                else:
+                    self._fanout_waves += 1
         if not wanted:
             return 0
         results: Dict[str, Optional[List[Tuple[Row, ...]]]] = {}
@@ -357,11 +453,20 @@ class RemotePeerFactSource:
     def get_matching(self, predicate: str, pattern: Pattern) -> Tuple[Row, ...]:
         self._check_open()
         key = (predicate, encode_pattern(pattern))
+        restriction = (
+            self._shard_map.owners_for_pattern(predicate, pattern)
+            if self._shard_map is not None
+            else None
+        )
         with self._lock:
             cached = self._memo.get(key)
             if cached is not None:
                 return cached
-            owners = self._routes.get(predicate, ())
+            owners, pruned = self._restricted_owners(predicate, restriction)
+            if pruned:
+                self._pruned_scans += 1
+            else:
+                self._fanout_scans += 1
             generation = self._generation
         if not owners:
             return ()

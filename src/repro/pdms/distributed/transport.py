@@ -223,6 +223,12 @@ class LoopbackTransport(TransportBase):
     ``drop_every_n``
         When set to *n* > 0, every n-th ``scan_batch`` RPC (counted
         transport-wide) raises — transient packet-loss-style faults.
+    ``row_cost``
+        Seconds slept per row returned by a ``scan_batch`` (simulated
+        wire-transfer time, proportional to payload).  Like ``delay`` the
+        sleep releases the GIL, so per-shard scans issued concurrently
+        overlap — which is exactly how sharding wins wall-clock time on
+        the benchmark workloads.
 
     Per-peer scan counters (:meth:`scan_count`) count individual scan
     requests served, for the examples' per-peer traffic reports.
@@ -233,11 +239,13 @@ class LoopbackTransport(TransportBase):
         instances: Mapping[str, Instance],
         delay: float = 0.0,
         drop_every_n: int = 0,
+        row_cost: float = 0.0,
     ):
         self._instances: Dict[str, Instance] = dict(instances)
         super().__init__(self._instances)
         self.delay = delay
         self.drop_every_n = drop_every_n
+        self.row_cost = row_cost
         self._scan_rpc_count = 0
 
     # -- introspection -----------------------------------------------------
@@ -252,9 +260,10 @@ class LoopbackTransport(TransportBase):
 
         Zero-latency loopback RPCs are plain function calls under the
         GIL — a thread pool adds overhead and wins nothing — so the
-        remote source scatters sequentially unless latency is injected.
+        remote source scatters sequentially unless latency (per RPC or
+        per row) is injected.
         """
-        return self.delay > 0
+        return self.delay > 0 or self.row_cost > 0
 
     # -- the wire ----------------------------------------------------------
 
@@ -295,6 +304,8 @@ class LoopbackTransport(TransportBase):
             # as-is: it is a data error, not a transport fault.
             results.append(tuple(instance.get_matching(relation, pattern)))
         self._count_scans(peer, len(requests))
+        if self.row_cost > 0:
+            time.sleep(self.row_cost * sum(len(rows) for rows in results))
         return results
 
     def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:

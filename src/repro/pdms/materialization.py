@@ -151,6 +151,17 @@ class FragmentCacheStats:
     #: Entries dropped because their data version moved or an explicit
     #: invalidation (peer leave, mapping change, clear) named them.
     invalidations: int = 0
+    #: Local misses served from the shared cache tier (see
+    #: :mod:`repro.pdms.distributed.cache_tier`); all tier counters stay
+    #: zero when no tier is attached.
+    tier_hits: int = 0
+    #: Tier consultations that found no matching (key, token) entry.
+    tier_misses: int = 0
+    #: Computed fragments offered to (and accepted by) the tier.
+    tier_puts: int = 0
+    #: Tier operations lost to a transport fault (or a tripped breaker):
+    #: each one degraded to a local compute, never to a wrong answer.
+    tier_degraded: int = 0
 
     @property
     def lookups(self) -> int:
@@ -172,6 +183,10 @@ class FragmentCacheStats:
             "rejections": self.rejections,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "tier_hits": self.tier_hits,
+            "tier_misses": self.tier_misses,
+            "tier_puts": self.tier_puts,
+            "tier_degraded": self.tier_degraded,
         }
 
 
@@ -241,6 +256,7 @@ class FragmentCache:
         max_bytes: int = DEFAULT_FRAGMENT_CACHE_BYTES,
         policy: Optional[AdmissionPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
+        tier: Optional[object] = None,
     ):
         if max_bytes < 1:
             raise EvaluationError("FragmentCache max_bytes must be at least 1")
@@ -251,6 +267,7 @@ class FragmentCache:
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._current_bytes = 0
         self._miss_counts: Dict[str, int] = {}
+        self._tier = tier
         self.stats = FragmentCacheStats()
 
     # -- introspection -----------------------------------------------------
@@ -270,6 +287,19 @@ class FragmentCache:
         """The admission policy in force."""
         return self._policy
 
+    @property
+    def tier(self) -> Optional[object]:
+        """The shared cache tier consulted between the LRU and a compute
+        (``None`` when this cache is purely local).  See
+        :class:`repro.pdms.distributed.cache_tier.CacheTierClient` for the
+        get/put/invalidate surface a tier must provide.
+        """
+        return self._tier
+
+    def attach_tier(self, tier: Optional[object]) -> None:
+        """Attach (or detach, with ``None``) the shared cache tier."""
+        self._tier = tier
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -279,6 +309,64 @@ class FragmentCache:
             return tuple(self._entries)
 
     # -- the lookup --------------------------------------------------------
+
+    def _admit(
+        self,
+        key: str,
+        token: object,
+        relations: Iterable[str],
+        value: object,
+        elapsed: float,
+        misses: int,
+    ) -> bool:
+        """Offer a freshly obtained result to the local LRU (policy gated)."""
+        nbytes = estimate_result_bytes(value)
+        with self._lock:
+            if self._policy.admit(key, nbytes, elapsed, misses, self._max_bytes):
+                if key in self._entries:
+                    self._remove_locked(key)
+                self._entries[key] = _Entry(
+                    key, token, frozenset(relations), value, nbytes
+                )
+                self._current_bytes += nbytes
+                self.stats.admissions += 1
+                self._miss_counts.pop(key, None)
+                while self._current_bytes > self._max_bytes and self._entries:
+                    evicted, _ = next(iter(self._entries.items()))
+                    self._remove_locked(evicted)
+                    self.stats.evictions += 1
+                return True
+            self.stats.rejections += 1
+            return False
+
+    def _tier_get(
+        self, key: str, token: object, relations: Iterable[str], misses: int
+    ):
+        """Consult the shared tier; ``(True, value)`` on an accepted hit.
+
+        A tier hit is admitted into the local LRU (charged at its fetch
+        cost) so repeats stay local; a transport fault counts as
+        ``tier_degraded`` and behaves exactly like a miss — the caller
+        computes locally.  Runs outside the lock: tier RPCs must never
+        stall concurrent local hits.
+        """
+        tier = self._tier
+        if tier is None or token is None:
+            return False, None
+        started = self._clock()
+        status, value = tier.get(key, token)
+        elapsed = self._clock() - started
+        with self._lock:
+            if status == "hit":
+                self.stats.tier_hits += 1
+            elif status == "miss":
+                self.stats.tier_misses += 1
+            else:
+                self.stats.tier_degraded += 1
+        if status != "hit":
+            return False, None
+        self._admit(key, token, relations, value, elapsed, misses)
+        return True, value
 
     def get_or_compute(
         self,
@@ -292,6 +380,10 @@ class FragmentCache:
         ``relations`` names the base relations the result reads (for
         explicit invalidation); ``token`` is the caller's data-version
         token for exactly those relations (see :func:`data_version_token`).
+        On a local miss the shared tier (when attached) is consulted
+        before computing; a freshly computed result that the local policy
+        admitted is offered back to the tier, so the *next* process asking
+        for this fragment at this version skips the compute too.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -313,27 +405,42 @@ class FragmentCache:
             # under a picky policy — cannot accumulate forever.
             while len(self._miss_counts) > _MISS_TRACKING_LIMIT:
                 self._miss_counts.pop(next(iter(self._miss_counts)))
+        tier_hit, tier_value = self._tier_get(key, token, relations, misses)
+        if tier_hit:
+            return tier_value
         started = self._clock()
         value = compute()
         elapsed = self._clock() - started
-        nbytes = estimate_result_bytes(value)
-        with self._lock:
-            if self._policy.admit(key, nbytes, elapsed, misses, self._max_bytes):
-                if key in self._entries:
-                    self._remove_locked(key)
-                self._entries[key] = _Entry(
-                    key, token, frozenset(relations), value, nbytes
-                )
-                self._current_bytes += nbytes
-                self.stats.admissions += 1
-                self._miss_counts.pop(key, None)
-                while self._current_bytes > self._max_bytes and self._entries:
-                    evicted, _ = next(iter(self._entries.items()))
-                    self._remove_locked(evicted)
-                    self.stats.evictions += 1
+        admitted = self._admit(key, token, relations, value, elapsed, misses)
+        tier = self._tier
+        if admitted and tier is not None and token is not None:
+            # Only locally admitted results are offered on: the admission
+            # policy already judged them worth memory, and the tier's own
+            # LRU bounds what it keeps.
+            if tier.put(key, token, relations, value):
+                with self._lock:
+                    self.stats.tier_puts += 1
             else:
-                self.stats.rejections += 1
+                with self._lock:
+                    self.stats.tier_degraded += 1
         return value
+
+    def peek(self, key: str, token: object, relations: Iterable[str]) -> bool:
+        """Would :meth:`get_or_compute` for ``key`` avoid computing?
+
+        Checks the local LRU (without touching the hit/miss counters —
+        this is a planning probe, not a lookup) and then the shared tier;
+        a tier hit is promoted into the local LRU on the way, so a
+        subsequent :meth:`get_or_compute` is a local hit.  The distributed
+        engine uses this to skip a rewriting's scatter-gather round
+        entirely when its root fragment is already warm somewhere.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.token == token:
+                return True
+        tier_hit, _ = self._tier_get(key, token, relations, misses=1)
+        return tier_hit
 
     # -- invalidation ------------------------------------------------------
 
@@ -348,7 +455,9 @@ class FragmentCache:
         The version-token check already guarantees stale entries are never
         *served*; this reclaims their memory eagerly when the caller knows
         a whole relation went away (peer leave) or a catalogue change made
-        a family of fragments unreachable.
+        a family of fragments unreachable.  The shared tier (when attached)
+        is told too, so every process's next lookup misses remotely exactly
+        as it would locally; a tier fault only costs the eager reclaim.
         """
         doomed = frozenset(relations)
         if not doomed:
@@ -362,10 +471,20 @@ class FragmentCache:
             for key in stale:
                 self._remove_locked(key)
             self.stats.invalidations += len(stale)
-            return len(stale)
+            count = len(stale)
+        tier = self._tier
+        if tier is not None and not tier.invalidate_relations(doomed):
+            with self._lock:
+                self.stats.tier_degraded += 1
+        return count
 
     def clear(self) -> int:
-        """Drop every entry (counters are preserved); returns the count."""
+        """Drop every entry (counters are preserved); returns the count.
+
+        Local only by design: ``clear`` is a this-process reset (tests,
+        memory pressure), not a statement that data changed, so the shared
+        tier keeps its entries for everyone else.
+        """
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()

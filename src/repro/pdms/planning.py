@@ -387,8 +387,8 @@ class UnionPlan:
         return cached
 
     def scan_requests(
-        self, key: str
-    ) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+        self, key: str, shard_map: Optional[object] = None
+    ) -> Tuple[Tuple[object, ...], ...]:
         """The stored-relation scans under fragment ``key`` (transitively).
 
         One ``(relation, pattern)`` pair per distinct
@@ -396,6 +396,13 @@ class UnionPlan:
         *wire footprint*: a distributed executor can issue exactly these
         scans — batched per owning peer, concurrently — before evaluating
         the fragment, so the joins above never block on a remote probe.
+
+        With a ``shard_map`` (see :mod:`repro.pdms.distributed.sharding`)
+        each request becomes ``(relation, pattern, owners)`` where
+        ``owners`` is the peer group a constant bound on the partition
+        column prunes the scan to, or ``None`` when the relation is
+        unsharded or the pattern leaves the partition column unbound —
+        those scans must still fan out to every shard to stay sound.
         """
         cached = self._scans_cache.get(key)
         if cached is None:
@@ -411,7 +418,12 @@ class UnionPlan:
                         merged.append(request)
                 cached = tuple(merged)
             self._scans_cache[key] = cached
-        return cached
+        if shard_map is None:
+            return cached
+        return tuple(
+            (relation, pattern, shard_map.owners_for_pattern(relation, pattern))
+            for relation, pattern in cached
+        )
 
     # -- feedback corrections ----------------------------------------------
 
