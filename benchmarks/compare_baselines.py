@@ -74,6 +74,11 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("cases.convergence.adaptive_speedup", "timing"),
         ("cases.convergence.q_error_drop", "exact"),
     ),
+    "BENCH_tail_latency.json": (
+        ("cases.hedged_vs_unhedged.p99_improvement", "timing"),
+        ("cases.retry_completeness.healed_complete", "exact"),
+        ("cases.delta_vs_full.rows_ratio", "exact"),
+    ),
     # BENCH_eval.json records absolute per-case timings only (no
     # machine-portable ratios), so it has nothing to guard here.
 }

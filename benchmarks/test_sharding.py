@@ -104,10 +104,15 @@ def _sharded_cluster(shards: int, row_cost: float = ROW_COST,
     """A ServiceCluster over ``shards`` workers holding ``sr``."""
     shard_map, workers = auto_shard({"P": _dataset()}, shards)
     transport = LoopbackTransport(workers, row_cost=row_cost)
+    # delta=False: this benchmark measures how *full-relation* re-scans
+    # scale with scatter width; delta-shipping would reduce every churn
+    # re-scan to a single shipped row and both arms would measure fixed
+    # overhead (the delta path has its own benchmark in
+    # test_tail_latency.py).
     cluster = ServiceCluster(
         pdms=_single_relation_pdms(), transport=transport,
         shard_map=shard_map if shards > 1 else None,
-        cache_tier=cache_tier,
+        cache_tier=cache_tier, delta=False,
     )
     return cluster, transport, workers
 

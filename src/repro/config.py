@@ -180,6 +180,63 @@ def cache_tier_enabled() -> bool:
     return bool_from_env("REPRO_CACHE_TIER", False)
 
 
+def scan_retries() -> int:
+    """Extra scan attempts after a ``TransportError`` (``REPRO_SCAN_RETRIES``).
+
+    Default 2 (so up to three attempts per scan unit).  ``0`` disables
+    retries: the first transport fault degrades the answer, as before the
+    tail-latency layer existed.  Attempts rotate across the replicas of
+    the owning placement group, so retries double as replica failover.
+    """
+    return int_from_env("REPRO_SCAN_RETRIES", 2)
+
+
+def scan_deadline_seconds() -> float:
+    """Per-query scan deadline budget (``REPRO_SCAN_DEADLINE_MS``).
+
+    ``0`` (the default) means no deadline.  When set, each prefetch wave
+    (and each cold ``get_matching``) gets this much wall-clock time for
+    retries and hedges combined; scan units still pending at expiry are
+    abandoned and recorded as failures, degrading the answer honestly.
+    """
+    return int_from_env("REPRO_SCAN_DEADLINE_MS", 0) / 1000.0
+
+
+def hedge_seconds() -> float:
+    """Fixed hedge delay for scans (``REPRO_HEDGE_MS``).
+
+    ``0`` (the default) means *adaptive*: hedge when the primary replica
+    exceeds the p95 of its per-peer latency EWMA (once enough
+    observations exist).  A positive value hedges after that fixed delay
+    instead.  Hedging needs a replica to duplicate the request to, so it
+    only engages for placement groups with >= 2 live members; disable it
+    entirely with ``REPRO_HEDGE_MS=-1``.
+    """
+    return int_from_env("REPRO_HEDGE_MS", 0, minimum=-1) / 1000.0
+
+
+def breaker_cooldown_seconds() -> float:
+    """Circuit-breaker half-open cooldown (``REPRO_BREAKER_COOLDOWN_MS``).
+
+    After a peer's breaker trips, one probe RPC is allowed through every
+    cooldown interval (default 1000 ms); a successful probe closes the
+    breaker and the peer rejoins, a failed one re-arms the cooldown.
+    """
+    return int_from_env("REPRO_BREAKER_COOLDOWN_MS", 1_000) / 1000.0
+
+
+def transport_backend() -> str:
+    """Transport behind the engine's wrap path (``REPRO_TRANSPORT``).
+
+    ``"loopback"`` (default): in-process :class:`LoopbackTransport`.
+    ``"socket"``: :class:`AsyncSocketTransport` — the same peers served
+    over asyncio TCP sockets on the loopback interface, exercising the
+    full framing/pooling stack.  Explicitly built clusters pass their own
+    transport and ignore this knob.
+    """
+    return choice_from_env("REPRO_TRANSPORT", "loopback", ("loopback", "socket"))
+
+
 def race_margin() -> float:
     """Cost ratio that makes a challenger raceable (``REPRO_RACE_MARGIN``).
 

@@ -209,6 +209,21 @@ class Instance:
         version = index.version if index is not None else _ABSENT_VERSION
         return (self._instance_id, version)
 
+    def rows_since(self, relation: str, version: int) -> Optional[Tuple[Row, ...]]:
+        """Rows added to ``relation`` after index-version ``version``.
+
+        ``None`` when the additive history is unavailable (removals,
+        clears, log overflow, unknown relation) and the caller must take
+        a full rescan.  Together with :meth:`data_version` this backs the
+        delta-shipping scan protocol: a caller holding the token
+        ``(instance_id, v)`` asks for ``rows_since(relation, v)`` and
+        unions the result into its memoized full scan at ``v``.
+        """
+        index = self._relations.get(relation)
+        if index is None:
+            return None
+        return index.rows_since(version)
+
     def version_vector(
         self, relations: Optional[Iterable[str]] = None
     ) -> Dict[str, Tuple[int, int]]:

@@ -44,6 +44,11 @@ WILDCARD = _Wildcard()
 #: A pattern: one entry per column, WILDCARD or a required value.
 Pattern = Tuple[object, ...]
 
+#: Maximum insertion-log length kept per relation for delta scans.  Beyond
+#: this the log is dropped and the next delta request degrades to a full
+#: rescan (correct, just less efficient).
+DELTA_LOG_CAP = 8192
+
 
 class PredicateIndex:
     """Rows of one relation plus lazily built positional hash indexes.
@@ -54,13 +59,17 @@ class PredicateIndex:
     built indexes (it is rare on the hot paths).
     """
 
-    __slots__ = ("_rows", "_indexes", "_version", "_widths")
+    __slots__ = ("_rows", "_indexes", "_version", "_widths", "_log", "_log_floor")
 
     def __init__(self, rows: Iterable[Row] = ()):
         self._rows: set[Row] = set(map(tuple, rows))
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[object, ...], List[Row]]] = {}
         self._version = 0
         self._widths: Dict[int, int] = {}
+        # Bounded insertion log backing delta scans (rows_since): log[i] is
+        # the row whose add moved the version to _log_floor + i + 1.
+        self._log: List[Row] = []
+        self._log_floor = 0
         for row in self._rows:
             self._widths[len(row)] = self._widths.get(len(row), 0) + 1
 
@@ -73,6 +82,12 @@ class PredicateIndex:
         self._rows.add(row)
         self._version += 1
         self._widths[len(row)] = self._widths.get(len(row), 0) + 1
+        self._log.append(row)
+        if len(self._log) > DELTA_LOG_CAP:
+            # The log is soft state: dropping it only downgrades later
+            # delta requests to full rescans, it never loses rows.
+            self._log = []
+            self._log_floor = self._version
         for positions, buckets in self._indexes.items():
             key = _bucket_key(row, positions)
             buckets.setdefault(key, []).append(row)
@@ -88,6 +103,10 @@ class PredicateIndex:
             return False
         self._rows.remove(row)
         self._version += 1
+        # Removals are not representable as an additive delta: invalidate
+        # the log so delta requests from older versions get a full rescan.
+        self._log = []
+        self._log_floor = self._version
         width = len(row)
         remaining = self._widths.get(width, 0) - 1
         if remaining > 0:
@@ -104,6 +123,8 @@ class PredicateIndex:
         self._rows.clear()
         self._indexes.clear()
         self._widths.clear()
+        self._log = []
+        self._log_floor = self._version
 
     # -- access -----------------------------------------------------------
 
@@ -115,6 +136,19 @@ class PredicateIndex:
     def rows(self) -> Collection[Row]:
         """The live row set (treat as read-only)."""
         return self._rows
+
+    def rows_since(self, version: int) -> "Tuple[Row, ...] | None":
+        """Rows added after ``version``, or ``None`` if unanswerable.
+
+        ``None`` means the additive history back to ``version`` is gone
+        (a removal or ``clear`` happened, the log overflowed, or the
+        version is from the future) and the caller must take a full
+        rescan.  A non-``None`` result is exactly the rows whose ``add``
+        moved the version past ``version``, in insertion order.
+        """
+        if version < self._log_floor or version > self._version:
+            return None
+        return tuple(self._log[version - self._log_floor:])
 
     def matching(self, pattern: Pattern) -> Collection[Row]:
         """Rows whose values equal ``pattern`` at every non-wildcard position.

@@ -31,7 +31,19 @@ real:
 * :mod:`~repro.pdms.distributed.cache_tier` — the shared fragment-cache
   peer (:class:`FragmentStore` + :class:`CacheTierClient`) every
   :class:`~repro.pdms.materialization.FragmentCache` can consult between
-  its local LRU and a fresh compute.
+  its local LRU and a fresh compute;
+* :mod:`~repro.pdms.distributed.async_transport` —
+  :class:`AsyncSocketTransport`, the same four-RPC contract over real
+  asyncio TCP sockets (length-prefixed frames, per-peer connection
+  pools, one background event-loop thread), selectable engine-wide with
+  ``REPRO_TRANSPORT=socket``;
+* :mod:`~repro.pdms.distributed.hedging` — the tail-latency toolkit:
+  :class:`ScanPolicy` (bounded retries with jittered backoff, hedged
+  duplicate scans to shard replicas, per-query deadline budgets),
+  :class:`PeerLatencyTracker` (per-peer EWMA latency quantiles feeding
+  the adaptive hedge trigger), and :class:`HalfOpenBreaker` (the shared
+  circuit breaker that probes and recovers after a cooldown instead of
+  staying open forever).
 
 See ``docs/distributed.md`` for the wire contract, failure semantics, and
 the consolidated table of every ``REPRO_*`` environment knob, and
@@ -47,6 +59,8 @@ from .transport import (
     decode_pattern,
     encode_pattern,
 )
+from .async_transport import AsyncSocketTransport
+from .hedging import HalfOpenBreaker, PeerLatencyTracker, ScanPolicy
 from .process import ProcessTransport
 from .sharding import (
     HashPartition,
@@ -69,18 +83,22 @@ from .engine import DistributedAnswer, DistributedEngine, evaluate_distributed
 from .cluster import ClusterAnswer, ServiceCluster
 
 __all__ = [
+    "AsyncSocketTransport",
     "CACHE_PEER",
     "CacheTierClient",
     "ClusterAnswer",
     "DistributedAnswer",
     "DistributedEngine",
     "FragmentStore",
+    "HalfOpenBreaker",
     "HashPartition",
     "LoopbackTransport",
+    "PeerLatencyTracker",
     "ProcessTransport",
     "RangePartition",
     "RemotePeerFactSource",
     "ScanFailure",
+    "ScanPolicy",
     "ServiceCluster",
     "ShardMap",
     "Transport",

@@ -1,0 +1,397 @@
+"""Asyncio TCP sockets behind the blocking ``Transport`` surface.
+
+:class:`AsyncSocketTransport` serves the same wire contract as
+:class:`~repro.pdms.distributed.transport.LoopbackTransport` — describe /
+scan_batch / scan_batch_since / insert — over real TCP sockets on the
+loopback interface, so the framing, connection-pooling, and concurrency
+story is the one peers on other hosts would use:
+
+* one background thread runs a private asyncio event loop hosting both
+  the **server** (a single ``asyncio.start_server`` endpoint serving
+  every peer; requests carry the peer name) and the **client pools**
+  (per-peer queues of pooled connections, opened on demand, capped at
+  ``pool_size``);
+* frames are 4-byte big-endian length-prefixed pickles; one request
+  frame ``(op, peer, payload)`` yields one response frame
+  ``(status, value)`` with the same ``ok`` / ``data_error`` / ``error``
+  statuses the process backend uses, so data errors re-raise as the
+  same ``ValueError`` / :class:`~repro.errors.InstanceError` a local
+  probe would produce;
+* callers see the ordinary *blocking* methods (each submits a coroutine
+  to the loop and waits), but in-flight RPCs to different peers — and
+  hedged duplicates to the same shard's replicas — genuinely overlap on
+  the event loop, no thread-per-peer pool required.  :meth:`submit_scan`
+  exposes the non-blocking form directly: it returns a
+  :class:`concurrent.futures.Future` whose cancellation really abandons
+  the RPC (the pooled connection is discarded, never re-paired);
+* chaos parity with the loopback harness: ``fail_peer`` /
+  ``drop_every_n`` act client-side before a frame is sent, while
+  ``delay`` / ``set_peer_delay`` / ``row_cost`` are served as
+  ``asyncio.sleep`` *inside* the server — so a slowed peer delays only
+  its own responses while the loop keeps serving everyone else, which
+  is exactly the one-slow-replica scenario hedging exists for.
+
+Version tokens are shipped unsalted: the served instances live in this
+process, so their :meth:`~repro.database.instance.Instance.instance_id`
+is already unique across every transport sharing them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import pickle
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ...database.instance import Instance
+from ...errors import InstanceError, TransportError
+from ...config import transport_timeout_seconds as _config_transport_timeout
+from .transport import (
+    RelationInfo,
+    Row,
+    ScanRequest,
+    ScanSinceResult,
+    SinceScanRequest,
+    TransportBase,
+    decode_pattern,
+    describe_instance,
+    scan_instance_since,
+)
+
+__all__ = ["AsyncSocketTransport"]
+
+
+async def _write_frame(writer: asyncio.StreamWriter, obj: object) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    writer.write(len(data).to_bytes(4, "big"))
+    writer.write(data)
+    await writer.drain()
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> object:
+    """One length-prefixed pickle frame; ``None`` on orderly EOF."""
+    try:
+        header = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    size = int.from_bytes(header, "big")
+    data = await reader.readexactly(size)
+    return pickle.loads(data)
+
+
+class _PooledConnection:
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+
+class AsyncSocketTransport(TransportBase):
+    """The four-RPC contract over asyncio TCP sockets (see module docs).
+
+    Chaos hooks mirror :class:`LoopbackTransport`: ``delay`` (seconds per
+    RPC, served remotely), ``set_peer_delay`` (extra latency for one
+    peer), ``drop_every_n`` (every n-th scan RPC fails client-side), and
+    ``row_cost`` (server-side seconds per returned row).
+    """
+
+    def __init__(
+        self,
+        instances: Mapping[str, Instance],
+        delay: float = 0.0,
+        drop_every_n: int = 0,
+        row_cost: float = 0.0,
+        pool_size: int = 4,
+        timeout: Optional[float] = None,
+    ):
+        self._instances: Dict[str, Instance] = dict(instances)
+        super().__init__(self._instances)
+        self.delay = delay
+        self.drop_every_n = drop_every_n
+        self.row_cost = row_cost
+        self._scan_rpc_count = 0
+        self._pool_size = max(1, pool_size)
+        self._timeout = timeout if timeout is not None else _config_transport_timeout()
+        self._pools: Dict[str, asyncio.Queue] = {}
+        self._handler_tasks: set = set()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-async-transport", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._server, self._address = asyncio.run_coroutine_threadsafe(
+                self._start_server(), self._loop
+            ).result(10.0)
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    # -- server side (runs on the event loop) ------------------------------
+
+    async def _start_server(self):
+        server = await asyncio.start_server(
+            self._handle_client, "127.0.0.1", 0
+        )
+        return server, server.sockets[0].getsockname()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._handler_tasks.add(task)
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                op, peer, payload = frame
+                try:
+                    response = ("ok", await self._serve(op, peer, payload))
+                except (ValueError, InstanceError) as exc:
+                    response = ("data_error", (type(exc).__name__, str(exc)))
+                except TransportError as exc:
+                    response = ("error", str(exc))
+                except Exception as exc:  # pragma: no cover - defensive
+                    response = ("error", f"{type(exc).__name__}: {exc}")
+                await _write_frame(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished (e.g. a cancelled hedge) — fine
+        except asyncio.CancelledError:
+            pass  # transport shutdown
+        finally:
+            self._handler_tasks.discard(task)
+            writer.close()
+
+    async def _serve(self, op: str, peer: str, payload: object) -> object:
+        instance = self._instances.get(peer)
+        if instance is None:
+            raise TransportError(f"unknown peer {peer!r}", peer=peer)
+        wire_delay = self.delay + self.peer_delay(peer)
+        if wire_delay > 0:
+            await asyncio.sleep(wire_delay)
+        if op == "describe":
+            return describe_instance(instance)
+        if op == "scan":
+            results = [
+                tuple(instance.get_matching(relation, decode_pattern(encoded)))
+                for relation, encoded in payload
+            ]
+            await self._charge_rows(sum(len(rows) for rows in results))
+            return results
+        if op == "scan_since":
+            results = [
+                scan_instance_since(instance, relation, encoded, since)
+                for relation, encoded, since in payload
+            ]
+            await self._charge_rows(sum(len(rows) for _, _, rows in results))
+            return results
+        if op == "insert":
+            relation, rows = payload
+            for row in rows:
+                instance.add(relation, row)
+            return len(rows)
+        if op == "ping":
+            return "pong"
+        raise TransportError(f"unknown op {op!r}", peer=peer)
+
+    async def _charge_rows(self, count: int) -> None:
+        if self.row_cost > 0 and count:
+            await asyncio.sleep(self.row_cost * count)
+
+    # -- client side -------------------------------------------------------
+
+    async def _acquire(self, peer: str) -> _PooledConnection:
+        pool = self._pools.get(peer)
+        if pool is None:
+            pool = self._pools[peer] = asyncio.Queue()
+        try:
+            return pool.get_nowait()
+        except asyncio.QueueEmpty:
+            reader, writer = await asyncio.open_connection(*self._address[:2])
+            return _PooledConnection(reader, writer)
+
+    def _release(self, peer: str, conn: _PooledConnection) -> None:
+        pool = self._pools.get(peer)
+        if pool is not None and pool.qsize() < self._pool_size:
+            pool.put_nowait(conn)
+        else:
+            conn.writer.close()
+
+    async def _rpc(self, peer: str, op: str, payload: object) -> object:
+        conn = await self._acquire(peer)
+        clean = False
+        try:
+            await _write_frame(conn.writer, (op, peer, payload))
+            frame = await _read_frame(conn.reader)
+            clean = frame is not None
+        finally:
+            # A cancelled or failed RPC leaves an unpaired response in
+            # flight: discard the connection rather than repooling it.
+            if clean:
+                self._release(peer, conn)
+            else:
+                conn.writer.close()
+        if frame is None:
+            raise TransportError(
+                f"peer {peer!r} connection closed mid-RPC", peer=peer
+            )
+        status, value = frame
+        if status == "ok":
+            return value
+        if status == "data_error":
+            kind, message = value
+            raise (InstanceError if kind == "InstanceError" else ValueError)(message)
+        raise TransportError(f"peer {peer!r} RPC failed: {value}", peer=peer)
+
+    def _precheck(self, peer: str, scan: bool = False) -> None:
+        """Client-side chaos + accounting, mirroring the loopback harness."""
+        if self._closed:
+            raise TransportError("transport is closed", peer=peer)
+        with self._lock:
+            self._rpc_count += 1
+            if peer in self._failed:
+                raise TransportError(f"peer {peer!r} is unreachable", peer=peer)
+            if peer not in self._instances:
+                raise TransportError(f"unknown peer {peer!r}", peer=peer)
+            if scan:
+                self._scan_rpc_count += 1
+                if self.drop_every_n and self._scan_rpc_count % self.drop_every_n == 0:
+                    raise TransportError(
+                        f"scan RPC to {peer!r} dropped (injected)", peer=peer
+                    )
+
+    def _run(self, peer: str, op: str, payload: object) -> object:
+        future = asyncio.run_coroutine_threadsafe(
+            self._rpc(peer, op, payload), self._loop
+        )
+        try:
+            return future.result(self._timeout if self._timeout else None)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise TransportError(
+                f"peer {peer!r}: RPC {op!r} timed out after {self._timeout}s",
+                peer=peer,
+            ) from None
+
+    # -- the Transport surface ---------------------------------------------
+
+    def peers(self) -> Tuple[str, ...]:
+        return tuple(self._instances)
+
+    def instance(self, peer: str) -> Instance:
+        """The live instance behind ``peer`` (tests mutate data through it)."""
+        return self._instances[peer]
+
+    @property
+    def prefers_parallel(self) -> bool:
+        """Scatter hint: socket RPCs always have wire latency to overlap."""
+        return True
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` the server is listening on."""
+        return self._address[:2]
+
+    def ping(self, peer: str) -> bool:
+        """Round-trip liveness probe."""
+        self._precheck(peer)
+        return self._run(peer, "ping", None) == "pong"
+
+    def describe(self, peer: str) -> Dict[str, RelationInfo]:
+        self._precheck(peer)
+        return self._run(peer, "describe", None)
+
+    def scan_batch(
+        self, peer: str, requests: Sequence[ScanRequest]
+    ) -> List[Tuple[Row, ...]]:
+        self._precheck(peer, scan=True)
+        results = self._run(peer, "scan", list(requests))
+        self._count_scans(peer, len(requests))
+        return results
+
+    def scan_batch_since(
+        self, peer: str, requests: Sequence[SinceScanRequest]
+    ) -> List[ScanSinceResult]:
+        self._precheck(peer, scan=True)
+        results = self._run(peer, "scan_since", list(requests))
+        self._count_scans(peer, len(requests))
+        return results
+
+    def submit_scan(
+        self, peer: str, requests: Sequence[SinceScanRequest]
+    ) -> "concurrent.futures.Future[List[ScanSinceResult]]":
+        """Fire a delta-capable scan batch without blocking.
+
+        The hedging hook: the returned future resolves to the same
+        result :meth:`scan_batch_since` would return, and cancelling it
+        genuinely abandons the RPC (the losing connection is discarded).
+        Client-side chaos (``fail_peer``, ``drop_every_n``) is applied
+        here, synchronously, before anything is sent.
+        """
+        self._precheck(peer, scan=True)
+        batch = list(requests)
+
+        async def go() -> List[ScanSinceResult]:
+            results = await self._rpc(peer, "scan_since", batch)
+            self._count_scans(peer, len(batch))
+            return results
+
+        return asyncio.run_coroutine_threadsafe(go(), self._loop)
+
+    def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:
+        self._precheck(peer)
+        return self._run(
+            peer, "insert", (relation, [tuple(row) for row in rows])
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=2.0)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+    def close(self) -> None:
+        """Stop the server, drain the pools, and stop the loop (idempotent)."""
+        if self._closed:
+            return
+        super().close()
+
+        async def shutdown() -> None:
+            self._server.close()
+            await self._server.wait_closed()
+            for pool in self._pools.values():
+                while not pool.empty():
+                    pool.get_nowait().writer.close()
+            # Server-side handlers for still-open client connections park
+            # on their next read forever; cancel them so the loop can be
+            # closed without orphaned tasks.
+            pending = list(self._handler_tasks)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            # One tick for the transports' connection_lost callbacks.
+            await asyncio.sleep(0)
+
+        try:
+            asyncio.run_coroutine_threadsafe(shutdown(), self._loop).result(5.0)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self._stop_loop()
+
+    def __del__(self):  # pragma: no cover - gc-time safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncSocketTransport({len(self._instances)} peers on "
+            f"{self._address[0]}:{self._address[1]}, {self._rpc_count} rpcs)"
+        )

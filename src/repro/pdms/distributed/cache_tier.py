@@ -48,6 +48,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 from ...datalog.indexing import WILDCARD
 from ...errors import EvaluationError, InstanceError, TransportError
 from ..materialization import DEFAULT_FRAGMENT_CACHE_BYTES
+from .hedging import HalfOpenBreaker
 from .transport import EncodedPattern, Row, Transport, encode_pattern
 
 #: Conventional transport-peer name of the shared cache tier.
@@ -232,8 +233,12 @@ class CacheTierClient:
     Wraps one transport peer hosting a :class:`FragmentStore`.  Every
     operation degrades on :class:`~repro.errors.TransportError` — a dead
     or flapping cache peer costs a compute, never an answer — and a
-    consecutive-failure breaker (``max_failures``) stops issuing RPCs to
-    a peer that keeps timing out until :meth:`reset` is called.
+    consecutive-failure breaker (``max_failures``, shared
+    :class:`~repro.pdms.distributed.hedging.HalfOpenBreaker` machinery)
+    stops hammering a peer that keeps failing.  After
+    ``breaker_cooldown`` seconds one operation is let through as a
+    half-open probe, so a restored cache peer rejoins on its own;
+    :meth:`reset` still force-closes the breaker immediately.
 
     Values round-trip through :mod:`pickle` (the process backend would
     pickle them anyway); unpicklable values silently skip the tier.
@@ -244,12 +249,13 @@ class CacheTierClient:
         transport: Transport,
         peer: str = CACHE_PEER,
         max_failures: int = 8,
+        breaker_cooldown: Optional[float] = None,
     ):
         self._transport = transport
         self._peer = peer
-        self._max_failures = max_failures
-        self._lock = threading.Lock()
-        self._consecutive_failures = 0
+        self._breaker = HalfOpenBreaker(
+            max_failures=max_failures, cooldown=breaker_cooldown
+        )
         self.failures = 0
 
     # -- health ------------------------------------------------------------
@@ -260,22 +266,19 @@ class CacheTierClient:
 
     @property
     def degraded(self) -> bool:
-        """Has the failure breaker tripped (no more RPCs until reset)?"""
-        with self._lock:
-            return self._consecutive_failures >= self._max_failures
+        """Is the failure breaker currently open (RPCs being refused)?"""
+        return self._breaker.tripped
 
     def reset(self) -> None:
-        """Re-arm the breaker (e.g. after the cache peer was restored)."""
-        with self._lock:
-            self._consecutive_failures = 0
+        """Force-close the breaker (e.g. after the cache peer was restored)."""
+        self._breaker.reset()
 
     def _note(self, ok: bool) -> None:
-        with self._lock:
-            if ok:
-                self._consecutive_failures = 0
-            else:
-                self._consecutive_failures += 1
-                self.failures += 1
+        if ok:
+            self._breaker.record_success()
+        else:
+            self._breaker.record_failure("cache peer RPC failed")
+            self.failures += 1
 
     # -- the tier surface --------------------------------------------------
 
@@ -285,7 +288,7 @@ class CacheTierClient:
         A hit requires the stored composite token to equal ``token``
         exactly — stale entries are indistinguishable from absent ones.
         """
-        if self.degraded:
+        if not self._breaker.allow():
             return ("error", None)
         probe: EncodedPattern = encode_pattern((key, token, WILDCARD, WILDCARD))
         try:
@@ -311,7 +314,7 @@ class CacheTierClient:
         self, key: str, token: object, relations: Iterable[str], value: object
     ) -> bool:
         """Offer a freshly computed fragment to the tier (best effort)."""
-        if self.degraded:
+        if not self._breaker.allow():
             return False
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -329,7 +332,7 @@ class CacheTierClient:
     def invalidate_relations(self, relations: Iterable[str]) -> bool:
         """Evict every tier entry reading any of ``relations`` (best effort)."""
         names = [(relation,) for relation in relations]
-        if not names or self.degraded:
+        if not names or not self._breaker.allow():
             return False
         try:
             self._transport.insert(self._peer, EVICT_RELATION, names)

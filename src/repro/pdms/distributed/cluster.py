@@ -38,6 +38,7 @@ from ..service import QueryService, ServiceStats
 from ..system import PDMS
 from ...config import max_inflight as _config_max_inflight
 from .engine import DistributedAnswer
+from .hedging import ScanPolicy
 from .sharding import ShardMap, insert_routed
 from .source import RemotePeerFactSource
 from .transport import Row, Transport
@@ -83,6 +84,15 @@ class ServiceCluster:
         A :class:`~repro.pdms.distributed.cache_tier.CacheTierClient`
         consulted by the service's fragment cache between its local LRU
         and a fresh compute (see ``docs/sharding.md``).
+    scan_policy:
+        The tail-latency envelope (retries, hedging, deadlines) the
+        cluster's scans run under; defaults to
+        :meth:`~repro.pdms.distributed.hedging.ScanPolicy.from_env`.
+        Ignored when wrapping a prebuilt ``service``.
+    delta:
+        ``False`` opts the cluster's source out of delta-shipping
+        re-scans (every re-scan ships the full relation again).
+        Ignored when wrapping a prebuilt ``service``.
     """
 
     def __init__(
@@ -96,6 +106,8 @@ class ServiceCluster:
         fragment_cache_bytes: Optional[int] = None,
         shard_map: Optional[ShardMap] = None,
         cache_tier: Optional[object] = None,
+        scan_policy: Optional["ScanPolicy"] = None,
+        delta: bool = True,
     ):
         self._shard_map = shard_map
         if service is not None:
@@ -113,7 +125,16 @@ class ServiceCluster:
                     "ServiceCluster needs a transport (or a prebuilt service)"
                 )
             self._transport = transport
-            self._source = RemotePeerFactSource(transport, shard_map=shard_map)
+            try:
+                self._source = RemotePeerFactSource(
+                    transport, shard_map=shard_map, policy=scan_policy,
+                    delta=delta,
+                )
+            except EvaluationError as exc:
+                # A malformed REPRO_SCAN_RETRIES / REPRO_HEDGE_MS /
+                # REPRO_SCAN_DEADLINE_MS read by ScanPolicy.from_env is a
+                # construction-time mistake, exactly as max_inflight below.
+                raise PDMSConfigurationError(str(exc)) from exc
             self._service = QueryService(
                 pdms,
                 config=config,
@@ -207,6 +228,7 @@ class ServiceCluster:
             snapshot["unreachable_peers"] = self._source.unreachable_peers
             snapshot["transport_failures"] = self._source.failure_count
             snapshot["scatter"] = self._source.scatter_stats()
+            snapshot["peer_latency"] = self._source.latency_stats()
         if self._shard_map is not None:
             snapshot["sharding"] = self._shard_map.describe()
         return snapshot

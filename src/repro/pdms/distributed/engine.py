@@ -43,7 +43,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Set, Tuple
 
+import threading
+from collections import OrderedDict
+
 from ...config import shards as _config_shards
+from ...config import transport_backend as _config_transport_backend
 from ...database.feedback import QErrorLog
 from ...datalog.evaluation import as_fact_source
 from ...datalog.indexing import ensure_indexed
@@ -65,27 +69,62 @@ from ..planning import (
     stream_plan_answers,
 )
 from ..reformulation import ReformulationResult
+from .async_transport import AsyncSocketTransport
 from .sharding import auto_shard
 from .source import RemotePeerFactSource, ScanFailure
 from .transport import LoopbackTransport
 
+# ``REPRO_TRANSPORT=socket`` routes every engine-wrapped call over real
+# TCP sockets.  Socket transports are expensive to stand up (an event
+# loop thread plus a listening server), so they are memoized per instance
+# set instead of rebuilt per call: the cache holds a strong reference to
+# the instances (scans read them live, so data stays fresh and ``id``
+# keys cannot be recycled while cached) and evicts LRU past a small cap.
+_SOCKET_CACHE_CAP = 8
+_socket_cache: "OrderedDict[tuple, AsyncSocketTransport]" = OrderedDict()
+_socket_cache_lock = threading.Lock()
+
+
+def _socket_transport(instances) -> AsyncSocketTransport:
+    key = tuple(sorted((name, id(inst)) for name, inst in instances.items()))
+    evicted = []
+    with _socket_cache_lock:
+        transport = _socket_cache.get(key)
+        if transport is not None:
+            _socket_cache.move_to_end(key)
+        else:
+            transport = AsyncSocketTransport(instances)
+            _socket_cache[key] = transport
+            while len(_socket_cache) > _SOCKET_CACHE_CAP:
+                evicted.append(_socket_cache.popitem(last=False)[1])
+    for old in evicted:
+        old.close()
+    return transport
+
 
 def _loopback_source(instances) -> RemotePeerFactSource:
-    """Wrap live per-peer instances in a per-call loopback boundary.
+    """Wrap live per-peer instances in a per-call transport boundary.
 
     With ``REPRO_SHARDS`` >= 2 the instances are first hash-partitioned
     across that many shard instances per peer (memoized per data version,
     so repeated calls over unchanged data keep stable shard identities —
     and therefore stable version tokens for the fragment caches), and the
-    resulting source carries the shard map for partition pruning.
+    resulting source carries the shard map for partition pruning.  The
+    boundary itself is in-process zero-copy by default;
+    ``REPRO_TRANSPORT=socket`` swaps in a cached
+    :class:`AsyncSocketTransport` so the same calls cross real TCP
+    sockets.
     """
+    socket_backend = _config_transport_backend() == "socket"
+
+    def _wrap(insts):
+        return _socket_transport(insts) if socket_backend else LoopbackTransport(insts)
+
     n = _config_shards()
     if n > 1:
         shard_map, workers = auto_shard(instances, n)
-        return RemotePeerFactSource(
-            LoopbackTransport(workers), shard_map=shard_map
-        )
-    return RemotePeerFactSource(LoopbackTransport(instances))
+        return RemotePeerFactSource(_wrap(workers), shard_map=shard_map)
+    return RemotePeerFactSource(_wrap(instances))
 
 
 @dataclass(frozen=True)

@@ -21,11 +21,17 @@ Protocol (one request/response pair per RPC, length-prefixed by the pipe):
   :class:`~repro.errors.TransportError`).
 
 Failure semantics: an RPC that exceeds ``REPRO_TRANSPORT_TIMEOUT_MS``
-(default 10 s) or hits a broken pipe **circuit-breaks the peer** — the
-connection is closed and every later RPC to it fails fast with
-:class:`~repro.errors.TransportError`.  A response that straggles in
-after a timeout could otherwise desynchronise the request/response
-pairing, so the breaker is one-way; build a fresh transport to recover.
+(default 10 s) **circuit-breaks the peer** — later RPCs to it fail fast
+with :class:`~repro.errors.TransportError` — but the break is no longer
+permanent: after ``REPRO_BREAKER_COOLDOWN_MS`` a half-open probe
+(:class:`~repro.pdms.distributed.hedging.HalfOpenBreaker`) is allowed
+through.  The probe first *drains* any straggling response left over
+from the timed-out RPC (tracked via an outstanding-send counter), so the
+request/response pairing on the pipe stays aligned; a probe that cannot
+drain or that fails re-arms the cooldown, a successful one closes the
+breaker and the healed peer rejoins the scatter set.  A *lost
+connection* (broken pipe / EOF) is still permanent — there is no pipe
+left to probe.
 
 Version tokens shipped by a worker embed the worker-side instance id,
 which is only unique *within* that process.  The client therefore salts
@@ -45,13 +51,17 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ...database.instance import Instance
 from ...errors import InstanceError, TransportError
 from ...config import transport_timeout_seconds as _config_transport_timeout
+from .hedging import HalfOpenBreaker
 from .transport import (
     RelationInfo,
     Row,
     ScanRequest,
+    ScanSinceResult,
+    SinceScanRequest,
     TransportBase,
     decode_pattern,
     describe_instance,
+    scan_instance_since,
 )
 
 #: Process-unique transport nonces; combined with the pid they make the
@@ -105,6 +115,11 @@ def _serve_peer(conn, instance: Instance) -> None:
                     pattern = decode_pattern(encoded)
                     results.append(tuple(instance.get_matching(relation, pattern)))
                 conn.send(("ok", results))
+            elif op == "scan_since":
+                conn.send(("ok", [
+                    scan_instance_since(instance, relation, encoded, since)
+                    for relation, encoded, since in arg
+                ]))
             elif op == "insert":
                 relation, rows = arg
                 for row in rows:
@@ -123,13 +138,30 @@ def _serve_peer(conn, instance: Instance) -> None:
 
 
 class _Worker:
-    __slots__ = ("process", "conn", "lock", "broken")
+    __slots__ = ("process", "conn", "lock", "lost", "breaker", "outstanding")
 
-    def __init__(self, process, conn):
+    def __init__(self, process, conn, breaker_cooldown: Optional[float]):
         self.process = process
         self.conn = conn
         self.lock = threading.Lock()
-        self.broken: Optional[str] = None
+        #: Permanent failure (broken pipe / EOF) — no pipe left to probe.
+        self.lost: Optional[str] = None
+        #: Timeout circuit: trips on the first timeout, half-open probes
+        #: after the cooldown let a healed worker rejoin.
+        self.breaker = HalfOpenBreaker(max_failures=1, cooldown=breaker_cooldown)
+        #: Requests sent minus responses received — >0 after a timeout
+        #: means a straggling response may still arrive and must be
+        #: drained before the next request keeps the pairing aligned.
+        self.outstanding = 0
+
+    @property
+    def broken(self) -> Optional[str]:
+        """Why the peer is currently unusable (``None`` when healthy)."""
+        if self.lost:
+            return self.lost
+        if self.breaker.tripped:
+            return self.breaker.reason or "circuit open"
+        return None
 
 
 class ProcessTransport(TransportBase):
@@ -148,6 +180,9 @@ class ProcessTransport(TransportBase):
     start_method:
         ``multiprocessing`` start method; defaults to ``"fork"`` where
         available (fast, no re-import) and the platform default elsewhere.
+    breaker_cooldown:
+        Seconds before a timeout-tripped peer is offered a half-open
+        probe; defaults to ``REPRO_BREAKER_COOLDOWN_MS`` (1 s).
     """
 
     def __init__(
@@ -155,6 +190,7 @@ class ProcessTransport(TransportBase):
         instances: Mapping[str, Instance],
         timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        breaker_cooldown: Optional[float] = None,
     ):
         super().__init__(instances)
         self._timeout = timeout if timeout is not None else transport_timeout_seconds()
@@ -175,7 +211,9 @@ class ProcessTransport(TransportBase):
                 )
                 process.start()
                 child_conn.close()
-                self._workers[name] = _Worker(process, parent_conn)
+                self._workers[name] = _Worker(
+                    process, parent_conn, breaker_cooldown
+                )
         except BaseException:
             # A later worker failing to start (e.g. an unpicklable
             # instance under "spawn") must not orphan the ones already
@@ -201,6 +239,23 @@ class ProcessTransport(TransportBase):
 
     # -- the wire ----------------------------------------------------------
 
+    @staticmethod
+    def _drain(worker: _Worker, grace: float = 0.05) -> bool:
+        """Consume straggling responses left by timed-out RPCs.
+
+        Called with ``worker.lock`` held, before a half-open probe sends
+        its request: every outstanding response must be received (and
+        discarded) first, or the probe would read the *old* RPC's answer.
+        Returns ``False`` when a straggler has still not arrived within
+        ``grace`` — the worker is presumably still busy.
+        """
+        while worker.outstanding > 0:
+            if not worker.conn.poll(grace):
+                return False
+            worker.conn.recv()
+            worker.outstanding -= 1
+        return True
+
     def _call(self, peer: str, op: str, arg: object):
         if self._closed:
             raise TransportError("transport is closed", peer=peer)
@@ -212,25 +267,42 @@ class ProcessTransport(TransportBase):
         if worker is None:
             raise TransportError(f"unknown peer {peer!r}", peer=peer)
         with worker.lock:
-            if worker.broken:
+            if worker.lost:
                 raise TransportError(
-                    f"peer {peer!r} circuit is broken: {worker.broken}", peer=peer
+                    f"peer {peer!r} connection lost: {worker.lost}", peer=peer
+                )
+            if not worker.breaker.allow():
+                raise TransportError(
+                    f"peer {peer!r} circuit is broken: "
+                    f"{worker.breaker.reason}", peer=peer
                 )
             try:
-                worker.conn.send((op, arg))
-                if self._timeout and not worker.conn.poll(self._timeout):
-                    # The straggling response (if any) would desync every
-                    # later request/response pair — break the circuit.
-                    worker.broken = f"RPC {op!r} timed out after {self._timeout}s"
-                    worker.conn.close()
-                    raise TransportError(
-                        f"peer {peer!r}: {worker.broken}", peer=peer
+                if worker.outstanding and not self._drain(worker):
+                    # Half-open probe refused: the straggling response
+                    # from the timed-out RPC has still not arrived, so
+                    # the pipe cannot be re-paired yet.  Re-arm.
+                    worker.breaker.record_failure(
+                        "straggling response still pending"
                     )
+                    raise TransportError(
+                        f"peer {peer!r} circuit is broken: straggling "
+                        f"response still pending", peer=peer
+                    )
+                worker.conn.send((op, arg))
+                worker.outstanding += 1
+                if self._timeout and not worker.conn.poll(self._timeout):
+                    # Keep the pipe: the response may yet straggle in and
+                    # a half-open probe can drain it after the cooldown.
+                    reason = f"RPC {op!r} timed out after {self._timeout}s"
+                    worker.breaker.record_failure(reason)
+                    raise TransportError(f"peer {peer!r}: {reason}", peer=peer)
                 status, value = worker.conn.recv()
+                worker.outstanding -= 1
+                worker.breaker.record_success()
             except TransportError:
                 raise
             except (BrokenPipeError, EOFError, OSError) as exc:
-                worker.broken = f"connection lost: {exc}"
+                worker.lost = f"{exc}"
                 raise TransportError(
                     f"peer {peer!r} connection lost: {exc}", peer=peer
                 ) from exc
@@ -267,6 +339,29 @@ class ProcessTransport(TransportBase):
         results = self._call(peer, "scan_batch", list(requests))
         self._count_scans(peer, len(requests))
         return results
+
+    def scan_batch_since(
+        self, peer: str, requests: Sequence[SinceScanRequest]
+    ) -> List[ScanSinceResult]:
+        # Unsalt outgoing cursors (the worker only understands its own
+        # raw tokens; a foreign-nonce cursor degrades to a full scan) and
+        # re-salt the returned tokens, mirroring describe().
+        wire = []
+        for relation, encoded, since in requests:
+            raw = None
+            if (
+                isinstance(since, tuple)
+                and len(since) == 2
+                and since[0] == self._nonce
+            ):
+                raw = since[1]
+            wire.append((relation, encoded, raw))
+        results = self._call(peer, "scan_since", wire)
+        self._count_scans(peer, len(requests))
+        return [
+            (full, (self._nonce, token) if token is not None else None, rows)
+            for full, token, rows in results
+        ]
 
     def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:
         return self._call(peer, "insert", (relation, [tuple(row) for row in rows]))

@@ -314,6 +314,30 @@ class ShardMap:
             return self.all_peers(relation)
         return spec.placement[index]
 
+    def groups_for_pattern(
+        self, relation: str, pattern: Pattern
+    ) -> Optional[Tuple[Tuple[str, ...], ...]]:
+        """The replica groups a scan with ``pattern`` must cover.
+
+        The group-structured twin of :meth:`owners_for_pattern`: instead
+        of a flat peer set it returns one group per shard the scan must
+        touch, each group listing the replicas holding that shard — any
+        *one* live member of each group suffices for a complete answer,
+        which is what makes hedging and replica failover sound.  ``None``
+        means "no placement knowledge" (unsharded relation).
+        """
+        spec = self._specs.get(relation)
+        if spec is None:
+            return None
+        column = spec.partition.column
+        value = pattern[column] if column < len(pattern) else WILDCARD
+        if value is not WILDCARD:
+            try:
+                return (spec.placement[spec.partition.shard_of(value)],)
+            except TypeError:
+                pass  # Range bounds cannot order this value; fan out.
+        return spec.placement
+
     # -- the write path ----------------------------------------------------
 
     def owners_for_row(self, relation: str, row: Row) -> Tuple[str, ...]:

@@ -32,6 +32,29 @@ Three mechanisms keep the RPC count sane and the semantics honest:
   partial memo entry is discarded at the next :meth:`refresh`.  Data
   errors (arity clashes) still raise, exactly like a local probe.
 
+The tail-latency layer sits on top (see ``docs/distributed.md``, "Tail
+latency").  Scans are organised into *units* — one per shard placement
+group, each listing the replicas that can serve it — and every unit runs
+under a :class:`~repro.pdms.distributed.hedging.ScanPolicy`:
+
+* **retries** — a unit lost to a ``TransportError`` is re-attempted
+  (bounded, exponential backoff + jitter), rotating across the group's
+  replicas; a scan that succeeds on retry records *no* failure, so
+  ``complete`` is re-earned instead of permanently degraded, and a unit
+  that exhausts its attempts is counted **once**, not once per attempt;
+* **hedging** — when a replica exists and the primary exceeds the hedge
+  delay (fixed ``REPRO_HEDGE_MS``, or the primary's tracked p95), a
+  duplicate request is fired at the next replica; first success wins and
+  the loser is cancelled;
+* **deadlines** — ``REPRO_SCAN_DEADLINE_MS`` bounds a whole prefetch
+  wave; units still unfinished at expiry degrade honestly, exactly like
+  a transport fault;
+* **delta re-scans** — per-peer scan results are memoized with their
+  version token, and re-scans send that token as a ``since`` cursor so
+  an advanced peer ships only its newly added rows
+  (:func:`~repro.pdms.distributed.transport.scan_instance_since`); the
+  merged result equals a full rescan by the monotone-log contract.
+
 The source is thread-safe; one instance may serve many concurrent query
 executions (see :class:`~repro.pdms.distributed.cluster.ServiceCluster`).
 """
@@ -39,13 +62,21 @@ executions (see :class:`~repro.pdms.distributed.cluster.ServiceCluster`).
 from __future__ import annotations
 
 import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, CancelledError
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...datalog.indexing import WILDCARD, Pattern
 from ...errors import MappingError, TransportError
 from ...config import distributed_workers as _config_distributed_workers
+from .hedging import PeerLatencyTracker, ScanPolicy
 from .transport import EncodedPattern, RelationInfo, Row, Transport, encode_pattern
+
+
+class _DeadlineExpired(Exception):
+    """Internal: the wave's deadline budget ran out mid-unit."""
 
 
 @dataclass(frozen=True)
@@ -84,6 +115,14 @@ class RemotePeerFactSource:
         group instead of fanning out to every owner; everything else is
         unchanged — per-shard version tokens already combine into the
         composite token via the sorted-token aggregation below.
+    policy:
+        The :class:`~repro.pdms.distributed.hedging.ScanPolicy` governing
+        retries, hedging, and deadlines (default: from the ``REPRO_*``
+        environment knobs).
+    delta:
+        When ``True`` (the default), re-scans send the memoized version
+        token as a ``since`` cursor so peers can ship deltas instead of
+        full rescans; ``False`` forces full rescans (benchmark baseline).
 
     Construction performs the first :meth:`refresh` — one ``describe``
     round per peer establishing the relation routing table (with the same
@@ -97,9 +136,13 @@ class RemotePeerFactSource:
         transport: Transport,
         peers: Optional[Iterable[str]] = None,
         shard_map: Optional[object] = None,
+        policy: Optional[ScanPolicy] = None,
+        delta: bool = True,
     ):
         self._transport = transport
         self._shard_map = shard_map
+        self._policy = policy if policy is not None else ScanPolicy.from_env()
+        self._delta = delta
         self._peer_names: Tuple[str, ...] = (
             tuple(peers) if peers is not None else tuple(transport.peers())
         )
@@ -109,6 +152,14 @@ class RemotePeerFactSource:
         self._cards: Dict[str, int] = {}
         self._tokens: Dict[str, Tuple[object, ...]] = {}
         self._memo: Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]] = {}
+        #: Per-(peer, relation, pattern) delta cursors: the version token
+        #: of the last scan served by that peer plus the merged rows it
+        #: covered.  Anchored to wire version tokens (not generations):
+        #: the server validates the cursor against its live version, so a
+        #: stale cursor can only re-ship rows, never lose them.
+        self._peer_scans: Dict[
+            Tuple[str, str, EncodedPattern], Tuple[object, Tuple[Row, ...]]
+        ] = {}
         #: Bumped by every refresh() that invalidated something; scans
         #: committed to the memo only if the generation they started under
         #: is still current, so rows fetched before an invalidating
@@ -117,11 +168,21 @@ class RemotePeerFactSource:
         self._degraded: Set[str] = set()
         self._unreachable: Set[str] = set()
         self._failures: List[ScanFailure] = []
+        self._tracker = PeerLatencyTracker()
         self._pruned_scans = 0
         self._fanout_scans = 0
         self._pruned_waves = 0
         self._fanout_waves = 0
+        self._retries = 0
+        self._hedges_fired = 0
+        self._hedges_won = 0
+        self._deadline_expiries = 0
+        self._delta_scans = 0
+        self._full_scans = 0
+        self._delta_rows = 0
+        self._full_rows = 0
         self._executor = None
+        self._attempt_executor = None
         self._closed = False
         self.refresh()
 
@@ -148,7 +209,7 @@ class RemotePeerFactSource:
         unreachable: Dict[str, str] = {}
         for peer in self._peer_names:
             try:
-                catalogs[peer] = self._transport.describe(peer)
+                catalogs[peer] = self._describe_with_retry(peer)
             except TransportError as exc:
                 unreachable[peer] = str(exc)
         routes: Dict[str, List[str]] = {}
@@ -197,6 +258,31 @@ class RemotePeerFactSource:
             self._arities = arities
             self._cards = cards
             self._tokens = new_tokens
+            # Delta cursors for vanished relations are dead weight (and a
+            # relation that later returns may be different data); drop
+            # them.  Cursors for live relations survive refresh — they
+            # are what turns the post-refresh rescan into a delta.
+            if self._peer_scans:
+                live = self._routes
+                self._peer_scans = {
+                    cursor_key: value
+                    for cursor_key, value in self._peer_scans.items()
+                    if cursor_key[1] in live
+                }
+
+    def _describe_with_retry(self, peer: str) -> Dict[str, RelationInfo]:
+        """One peer's catalog, with the policy's transient-fault retries."""
+        policy = self._policy
+        last_error: Optional[TransportError] = None
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                time.sleep(policy.backoff_delay(attempt - 1))
+            try:
+                return self._transport.describe(peer)
+            except TransportError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     @property
     def shard_map(self) -> Optional[object]:
@@ -204,13 +290,19 @@ class RemotePeerFactSource:
         return self._shard_map
 
     def scatter_stats(self) -> Dict[str, int]:
-        """Pruning effectiveness counters (monotone since construction).
+        """Scatter and tail-latency counters (monotone since construction).
 
         ``pruned_scans`` / ``fanout_scans`` count individual wire scans by
         whether shard pruning narrowed the owner set below the full route;
         ``pruned_waves`` / ``fanout_waves`` count :meth:`prefetch` rounds
         that fetched anything, a wave being *pruned* only when every scan
-        in it was.
+        in it was.  The tail-latency layer adds: ``retries`` (re-attempts
+        after a transport fault), ``hedges_fired`` / ``hedges_won``
+        (duplicate requests issued, and how many beat the primary),
+        ``deadline_expiries`` (scan units abandoned at the wave
+        deadline), ``delta_scans`` / ``full_scans`` (wire scans answered
+        as a delta vs a full rescan) and ``delta_rows_shipped`` /
+        ``full_rows_shipped`` (rows carried by each kind).
         """
         with self._lock:
             return {
@@ -218,7 +310,19 @@ class RemotePeerFactSource:
                 "fanout_scans": self._fanout_scans,
                 "pruned_waves": self._pruned_waves,
                 "fanout_waves": self._fanout_waves,
+                "retries": self._retries,
+                "hedges_fired": self._hedges_fired,
+                "hedges_won": self._hedges_won,
+                "deadline_expiries": self._deadline_expiries,
+                "delta_scans": self._delta_scans,
+                "full_scans": self._full_scans,
+                "delta_rows_shipped": self._delta_rows,
+                "full_rows_shipped": self._full_rows,
             }
+
+    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-peer scan-latency EWMA snapshot (count, mean, p95; ms)."""
+        return self._tracker.snapshot()
 
     def relations(self) -> Tuple[str, ...]:
         """Stored relations currently reachable through this source."""
@@ -291,10 +395,16 @@ class RemotePeerFactSource:
             return not self._degraded and not self._unreachable
 
     def drop_memo(self) -> int:
-        """Forget every memoized scan (testing/benchmark hook)."""
+        """Forget every memoized scan (testing/benchmark hook).
+
+        Simulates a genuinely cold consumer, so the delta cursors go
+        too — otherwise the next "cold" scan would ride a surviving
+        cursor and ship an empty delta instead of the full relation.
+        """
         with self._lock:
             dropped = len(self._memo)
             self._memo.clear()
+            self._peer_scans.clear()
             return dropped
 
     # -- scanning ----------------------------------------------------------
@@ -317,21 +427,30 @@ class RemotePeerFactSource:
                 )
             return self._executor
 
+    def _attempt_pool(self):
+        """A second executor for hedged attempts.
+
+        Hedged duplicates must not share the scatter pool: a wave that
+        fills the scatter pool with units would deadlock waiting for its
+        own attempts.  Transports with a native :meth:`submit_scan`
+        (the async socket backend) bypass this pool entirely.
+        """
+        with self._lock:
+            self._check_open()
+            if self._attempt_executor is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._attempt_executor = ThreadPoolExecutor(
+                    max_workers=max(4, self._scatter_width() * 2),
+                    thread_name_prefix="repro-hedge",
+                )
+            return self._attempt_executor
+
     def _record_failure(self, peer: str, relations: Iterable[str], error: str) -> None:
         with self._lock:
             for relation in relations:
                 self._failures.append(ScanFailure(peer, relation, error))
                 self._degraded.add(relation)
-
-    def _scan_peer(
-        self, peer: str, batch: List[Tuple[str, EncodedPattern]]
-    ) -> Optional[List[Tuple[Row, ...]]]:
-        """One batched scan RPC; ``None`` when lost to a transport fault."""
-        try:
-            return self._transport.scan_batch(peer, batch)
-        except TransportError as exc:
-            self._record_failure(peer, {relation for relation, _ in batch}, str(exc))
-            return None
 
     def _restricted_owners(
         self,
@@ -353,6 +472,288 @@ class RemotePeerFactSource:
         owners = tuple(owner for owner in routes if owner in allowed)
         return owners, len(owners) < len(routes)
 
+    def _scan_groups(
+        self,
+        relation: str,
+        pattern: Pattern,
+        owners_restriction: Optional[Iterable[str]],
+    ) -> Tuple[Tuple[Tuple[str, ...], ...], bool]:
+        """(replica groups to scan, was the route set narrowed?) — lock held.
+
+        Each returned group lists the live replicas of one shard; any
+        one member answers for the whole group, which is what makes
+        hedging and retry-rotation across the group sound.  Unsharded
+        relations degenerate to one single-member group per owner (every
+        owner may hold distinct rows, so all must be scanned).
+        """
+        routes = self._routes.get(relation, ())
+        shard_map = self._shard_map
+        if shard_map is not None:
+            raw_groups = shard_map.groups_for_pattern(relation, pattern)
+            if raw_groups is not None:
+                live = set(routes)
+                groups = tuple(
+                    live_group
+                    for group in raw_groups
+                    if (live_group := tuple(p for p in group if p in live))
+                )
+                covered = {peer for group in groups for peer in group}
+                return groups, len(covered) < len(routes)
+        owners, pruned = self._restricted_owners(relation, owners_restriction)
+        return tuple((owner,) for owner in owners), pruned
+
+    # -- one scan unit: retries, hedging, deadline -------------------------
+
+    def _deadline_at(self) -> Optional[float]:
+        deadline = self._policy.deadline
+        return time.monotonic() + deadline if deadline else None
+
+    @staticmethod
+    def _remaining(deadline_at: Optional[float]) -> Optional[float]:
+        return None if deadline_at is None else deadline_at - time.monotonic()
+
+    def _build_since_requests(
+        self, peer: str, keys: Sequence[Tuple[str, EncodedPattern]]
+    ):
+        """The wire batch for ``peer`` plus the delta baselines it rides on."""
+        with self._lock:
+            baselines = {
+                key: self._peer_scans.get((peer, key[0], key[1]))
+                for key in keys
+            }
+        requests = [
+            (
+                key[0],
+                key[1],
+                baselines[key][0]
+                if (self._delta and baselines[key] is not None)
+                else None,
+            )
+            for key in keys
+        ]
+        return requests, baselines
+
+    def _finish_scan(
+        self,
+        peer: str,
+        keys: Sequence[Tuple[str, EncodedPattern]],
+        baselines: Dict[Tuple[str, EncodedPattern], Optional[Tuple[object, Tuple[Row, ...]]]],
+        results,
+        elapsed: float,
+    ) -> Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]:
+        """Merge one successful wire response into the delta cursors."""
+        self._tracker.observe(peer, elapsed)
+        out: Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]] = {}
+        delta_scans = full_scans = delta_rows = full_rows = 0
+        commits = []
+        for key, (full, token, rows) in zip(keys, results):
+            base = baselines.get(key)
+            if not full and base is not None:
+                base_rows = base[1]
+                known = set(base_rows)
+                merged = base_rows + tuple(
+                    row for row in rows if row not in known
+                )
+                delta_scans += 1
+                delta_rows += len(rows)
+            else:
+                merged = tuple(rows)
+                full_scans += 1
+                full_rows += len(rows)
+            out[key] = merged
+            if token is not None:
+                commits.append(((peer, key[0], key[1]), (token, merged)))
+        with self._lock:
+            self._delta_scans += delta_scans
+            self._full_scans += full_scans
+            self._delta_rows += delta_rows
+            self._full_rows += full_rows
+            for cursor_key, value in commits:
+                self._peer_scans[cursor_key] = value
+        return out
+
+    def _attempt_scan(
+        self, peer: str, keys: Sequence[Tuple[str, EncodedPattern]]
+    ) -> Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]:
+        """One blocking scan attempt (raises ``TransportError`` on fault)."""
+        requests, baselines = self._build_since_requests(peer, keys)
+        start = time.monotonic()
+        results = self._transport.scan_batch_since(peer, requests)
+        return self._finish_scan(
+            peer, keys, baselines, results, time.monotonic() - start
+        )
+
+    def _submit_attempt(
+        self, peer: str, keys: Sequence[Tuple[str, EncodedPattern]]
+    ):
+        """Fire one scan attempt without blocking; returns (future, baselines, start).
+
+        Uses the transport's native :meth:`submit_scan` when it has one
+        (genuinely cancellable), else the hedge thread pool (cancellation
+        is then best-effort abandonment — the losing response is simply
+        discarded).
+        """
+        requests, baselines = self._build_since_requests(peer, keys)
+        start = time.monotonic()
+        submit = getattr(self._transport, "submit_scan", None)
+        if submit is not None:
+            future = submit(peer, requests)
+        else:
+            future = self._attempt_pool().submit(
+                self._transport.scan_batch_since, peer, requests
+            )
+        return future, baselines, start
+
+    def _attempt_with_hedge(
+        self,
+        primary: str,
+        hedge_peer: Optional[str],
+        keys: Sequence[Tuple[str, EncodedPattern]],
+        deadline_at: Optional[float],
+    ) -> Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]:
+        """One attempt, possibly hedged to a replica; first success wins.
+
+        Raises ``TransportError`` when every in-flight request failed
+        (the caller's retry loop handles it) and :class:`_DeadlineExpired`
+        when the wave budget ran out; data errors propagate as-is.
+        """
+        policy = self._policy
+        hedge_delay = (
+            policy.hedge_delay(self._tracker, primary)
+            if hedge_peer is not None
+            else None
+        )
+        if hedge_delay is None and deadline_at is None:
+            return self._attempt_scan(primary, keys)
+        future, baselines, start = self._submit_attempt(primary, keys)
+        in_flight = {future: (primary, baselines, start)}
+        hedge_pending = hedge_delay is not None
+        errors: List[TransportError] = []
+        try:
+            while True:
+                wait_timeout = hedge_delay if hedge_pending else None
+                remaining = self._remaining(deadline_at)
+                if remaining is not None:
+                    if remaining <= 0:
+                        raise _DeadlineExpired()
+                    wait_timeout = (
+                        remaining
+                        if wait_timeout is None
+                        else min(wait_timeout, remaining)
+                    )
+                done, _ = futures_wait(
+                    list(in_flight),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    if hedge_pending:
+                        # The primary exceeded its hedge delay: duplicate
+                        # the request to the replica and race them.
+                        hedge_pending = False
+                        with self._lock:
+                            self._hedges_fired += 1
+                        try:
+                            h_future, h_base, h_start = self._submit_attempt(
+                                hedge_peer, keys
+                            )
+                            in_flight[h_future] = (hedge_peer, h_base, h_start)
+                        except TransportError:
+                            pass  # hedge target down; primary may answer yet
+                        continue
+                    raise _DeadlineExpired()
+                for finished in done:
+                    peer, peer_baselines, peer_start = in_flight.pop(finished)
+                    try:
+                        results = finished.result()
+                    except TransportError as exc:
+                        errors.append(exc)
+                        continue
+                    except CancelledError:
+                        errors.append(
+                            TransportError(
+                                f"scan to {peer!r} cancelled", peer=peer
+                            )
+                        )
+                        continue
+                    # Data errors (ValueError/InstanceError) propagate
+                    # through here, cancelling the other attempt below.
+                    if peer != primary:
+                        with self._lock:
+                            self._hedges_won += 1
+                    return self._finish_scan(
+                        peer,
+                        keys,
+                        peer_baselines,
+                        results,
+                        time.monotonic() - peer_start,
+                    )
+                if not in_flight:
+                    raise errors[-1] if errors else TransportError(
+                        f"scan to {primary!r} failed", peer=primary
+                    )
+        finally:
+            for leftover in in_flight:
+                leftover.cancel()
+
+    def _scan_unit(
+        self,
+        candidates: Tuple[str, ...],
+        keys: Sequence[Tuple[str, EncodedPattern]],
+        deadline_at: Optional[float],
+    ) -> Optional[Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]]:
+        """Scan one replica group under the full policy envelope.
+
+        Attempts rotate across ``candidates`` (retry number *k* goes to
+        replica ``k mod n``, so retries double as failover); each attempt
+        may hedge to the next replica.  Returns per-key rows, or ``None``
+        after exhausting the policy — in which case exactly **one**
+        :class:`ScanFailure` per relation is recorded, regardless of how
+        many attempts were made.
+        """
+        policy = self._policy
+        count = len(candidates)
+        last_error = "no live replica"
+        expired = False
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                with self._lock:
+                    self._retries += 1
+                delay = policy.backoff_delay(attempt - 1)
+                remaining = self._remaining(deadline_at)
+                if remaining is not None:
+                    if remaining <= 0:
+                        expired = True
+                        break
+                    delay = min(delay, remaining)
+                time.sleep(delay)
+            remaining = self._remaining(deadline_at)
+            if remaining is not None and remaining <= 0:
+                expired = True
+                break
+            primary = candidates[attempt % count]
+            hedge_peer = (
+                candidates[(attempt + 1) % count]
+                if count > 1 and policy.hedging
+                else None
+            )
+            try:
+                return self._attempt_with_hedge(
+                    primary, hedge_peer, keys, deadline_at
+                )
+            except _DeadlineExpired:
+                expired = True
+                break
+            except TransportError as exc:
+                last_error = str(exc)
+        if expired:
+            with self._lock:
+                self._deadline_expiries += 1
+            last_error = "scan deadline expired"
+        relations = sorted({key[0] for key in keys})
+        self._record_failure(candidates[0], relations, last_error)
+        return None
+
     def prefetch(
         self,
         requests: Iterable[Sequence[object]],
@@ -366,17 +767,20 @@ class RemotePeerFactSource:
         ``(relation, pattern, owners)`` where a non-``None`` ``owners``
         prunes the scan to that shard group.  Two-element requests are
         pruned against this source's own :attr:`shard_map` when it has
-        one.  Requests are grouped into one batched RPC per owning peer;
-        with ``parallel`` (and a transport that benefits — worker
-        processes, or injected latency) the per-peer batches run
-        concurrently on a thread pool, so a rewriting touching *k* peers
-        pays one RPC round-trip instead of *k*.  Returns the number of
-        scans fetched.  Transport faults degrade (see the module
-        docstring); data errors propagate.
+        one.  Requests are batched into one *scan unit* per replica
+        group (see :meth:`_scan_groups`); with ``parallel`` (and a
+        transport that benefits — worker processes, sockets, or injected
+        latency) the units run concurrently on a thread pool, so a
+        rewriting touching *k* groups pays one RPC round-trip instead of
+        *k*.  Each unit runs under the full :class:`ScanPolicy` envelope
+        (retries, hedging, deadline).  Returns the number of scans
+        fetched.  Transport faults degrade (see the module docstring);
+        data errors propagate.
         """
         self._check_open()
         wanted: List[Tuple[str, EncodedPattern]] = []
         seen: Set[Tuple[str, EncodedPattern]] = set()
+        patterns: Dict[Tuple[str, EncodedPattern], Pattern] = {}
         restrictions: Dict[Tuple[str, EncodedPattern], Optional[Tuple[str, ...]]] = {}
         pruned_in_wave = 0
         fanout_in_wave = 0
@@ -387,26 +791,27 @@ class RemotePeerFactSource:
                     relation, pattern, restriction = request
                 else:
                     relation, pattern = request
-                    restriction = (
-                        self._shard_map.owners_for_pattern(relation, pattern)
-                        if self._shard_map is not None
-                        else None
-                    )
+                    restriction = None
                 key = (relation, encode_pattern(pattern))
                 if key in self._memo or key in seen:
                     continue
                 seen.add(key)
                 wanted.append(key)
+                patterns[key] = pattern
                 restrictions[key] = restriction
-            groups: Dict[str, List[Tuple[str, EncodedPattern]]] = {}
+            units: Dict[
+                Tuple[str, ...], List[Tuple[str, EncodedPattern]]
+            ] = {}
             for key in wanted:
-                owners, pruned = self._restricted_owners(key[0], restrictions[key])
+                unit_groups, pruned = self._scan_groups(
+                    key[0], patterns[key], restrictions[key]
+                )
                 if pruned:
                     pruned_in_wave += 1
                 else:
                     fanout_in_wave += 1
-                for owner in owners:
-                    groups.setdefault(owner, []).append(key)
+                for group in unit_groups:
+                    units.setdefault(group, []).append(key)
             self._pruned_scans += pruned_in_wave
             self._fanout_scans += fanout_in_wave
             if wanted:
@@ -416,31 +821,35 @@ class RemotePeerFactSource:
                     self._fanout_waves += 1
         if not wanted:
             return 0
-        results: Dict[str, Optional[List[Tuple[Row, ...]]]] = {}
+        deadline_at = self._deadline_at()
+        unit_items = list(units.items())
+        results: List[
+            Optional[Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]]
+        ]
         if (
             parallel
-            and len(groups) > 1
+            and len(unit_items) > 1
             and getattr(self._transport, "prefers_parallel", True)
         ):
             pool = self._pool()
-            futures = {
-                peer: pool.submit(self._scan_peer, peer, batch)
-                for peer, batch in groups.items()
-            }
-            for peer, future in futures.items():
-                results[peer] = future.result()
+            futures = [
+                pool.submit(self._scan_unit, group, batch, deadline_at)
+                for group, batch in unit_items
+            ]
+            results = [future.result() for future in futures]
         else:
-            for peer, batch in groups.items():
-                results[peer] = self._scan_peer(peer, batch)
+            results = [
+                self._scan_unit(group, batch, deadline_at)
+                for group, batch in unit_items
+            ]
         merged: Dict[Tuple[str, EncodedPattern], List[Row]] = {
             key: [] for key in wanted
         }
-        for peer, batch in groups.items():
-            rows_per_request = results.get(peer)
-            if rows_per_request is None:
+        for (group, batch), per_key in zip(unit_items, results):
+            if per_key is None:
                 continue
-            for key, rows in zip(batch, rows_per_request):
-                merged[key].extend(rows)
+            for key in batch:
+                merged[key].extend(per_key[key])
         with self._lock:
             # A concurrent refresh() that invalidated anything may have
             # dropped entries these scans would now resurrect with
@@ -453,28 +862,24 @@ class RemotePeerFactSource:
     def get_matching(self, predicate: str, pattern: Pattern) -> Tuple[Row, ...]:
         self._check_open()
         key = (predicate, encode_pattern(pattern))
-        restriction = (
-            self._shard_map.owners_for_pattern(predicate, pattern)
-            if self._shard_map is not None
-            else None
-        )
         with self._lock:
             cached = self._memo.get(key)
             if cached is not None:
                 return cached
-            owners, pruned = self._restricted_owners(predicate, restriction)
+            groups, pruned = self._scan_groups(predicate, pattern, None)
             if pruned:
                 self._pruned_scans += 1
             else:
                 self._fanout_scans += 1
             generation = self._generation
-        if not owners:
+        if not groups:
             return ()
+        deadline_at = self._deadline_at()
         rows: List[Row] = []
-        for owner in owners:
-            result = self._scan_peer(owner, [key])
-            if result is not None:
-                rows.extend(result[0])
+        for group in groups:
+            per_key = self._scan_unit(group, [key], deadline_at)
+            if per_key is not None:
+                rows.extend(per_key[key])
         combined = tuple(rows)
         with self._lock:
             # Same guard as prefetch: never resurrect rows across an
@@ -500,10 +905,12 @@ class RemotePeerFactSource:
         """
         with self._lock:
             self._closed = True
-            executor = self._executor
+            executors = (self._executor, self._attempt_executor)
             self._executor = None
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
+            self._attempt_executor = None
+        for executor in executors:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:

@@ -62,6 +62,18 @@ EncodedPattern = Tuple[EncodedEntry, ...]
 #: One scan request on the wire: ``(relation, encoded pattern)``.
 ScanRequest = Tuple[str, EncodedPattern]
 
+#: A delta-capable scan request: ``(relation, encoded pattern, since)``.
+#: ``since`` is the version token of the caller's memoized full scan, or
+#: ``None`` for an unconditional full scan.
+SinceScanRequest = Tuple[str, EncodedPattern, object]
+
+#: One delta-capable scan response: ``(full, token, rows)``.  ``full`` is
+#: ``True`` when ``rows`` is a complete rescan, ``False`` when it is only
+#: the rows added since the request's ``since`` token; ``token`` is the
+#: relation's version token *at or before* the scan (so merging the rows
+#: into the memo keyed by ``token`` never claims data it does not hold).
+ScanSinceResult = Tuple[bool, object, Tuple[Row, ...]]
+
 #: ``describe`` response entry: ``(arity, cardinality, version token)``.
 RelationInfo = Tuple[int, int, object]
 
@@ -112,6 +124,56 @@ def describe_instance(instance: Instance) -> Dict[str, RelationInfo]:
     return info
 
 
+def scan_instance_since(
+    instance: Instance, relation: str, encoded: EncodedPattern, since: object
+) -> ScanSinceResult:
+    """Serve one delta-capable scan request against a live instance.
+
+    The single server-side delta implementation, shared by every backend
+    (loopback serves it directly, the process worker and the socket
+    server run it remotely), so the delta contract cannot drift:
+
+    * ``since`` matching the current token exactly → empty delta
+      (``full=False``) — the near-constant-size rescan;
+    * ``since`` from this instance with additive history available
+      (:meth:`~repro.database.instance.Instance.rows_since`) → only the
+      rows added since, filtered by the pattern (``full=False``);
+    * anything else (foreign token, removals, log overflow) → a full
+      rescan (``full=True``).
+
+    Delta rows whose width clashes with the probing pattern raise
+    :class:`ValueError`, matching the full-scan data-error contract.
+    """
+    pattern = decode_pattern(encoded)
+    token = instance.data_version(relation)
+    if (
+        isinstance(since, tuple)
+        and len(since) == 2
+        and since[0] == token[0]
+        and isinstance(since[1], int)
+    ):
+        if since[1] == token[1]:
+            return (False, token, ())
+        rows_since = getattr(instance, "rows_since", None)
+        delta = rows_since(relation, since[1]) if rows_since is not None else None
+        if delta is not None:
+            width = len(pattern)
+            matched: List[Row] = []
+            for row in delta:
+                if len(row) != width:
+                    raise ValueError(
+                        f"relation {relation!r} holds a row of width "
+                        f"{len(row)} but the probing atom has arity {width}"
+                    )
+                if all(
+                    entry is WILDCARD or row[i] == entry
+                    for i, entry in enumerate(pattern)
+                ):
+                    matched.append(row)
+            return (False, token, tuple(matched))
+    return (True, token, tuple(instance.get_matching(relation, pattern)))
+
+
 class Transport(Protocol):
     """The peer-boundary RPC contract (see the module docstring)."""
 
@@ -124,6 +186,11 @@ class Transport(Protocol):
     def scan_batch(
         self, peer: str, requests: Sequence[ScanRequest]
     ) -> List[Tuple[Row, ...]]:  # pragma: no cover - protocol
+        ...
+
+    def scan_batch_since(
+        self, peer: str, requests: Sequence[SinceScanRequest]
+    ) -> List[ScanSinceResult]:  # pragma: no cover - protocol
         ...
 
     def insert(
@@ -150,6 +217,7 @@ class TransportBase:
         self._failed: set = set()
         self._lock = threading.Lock()
         self._scan_counts: Dict[str, int] = {name: 0 for name in peers}
+        self._peer_delays: Dict[str, float] = {}
         self._rpc_count = 0
         self._closed = False
 
@@ -164,6 +232,23 @@ class TransportBase:
         """Bring a failed peer back (circuit-broken peers stay broken)."""
         with self._lock:
             self._failed.discard(peer)
+
+    def set_peer_delay(self, peer: str, seconds: float) -> None:
+        """Inject extra per-RPC latency for one peer (0 clears it).
+
+        The chaos hook behind the tail-latency scenarios: slow exactly
+        one replica and watch hedging route around it.
+        """
+        with self._lock:
+            if seconds > 0:
+                self._peer_delays[peer] = seconds
+            else:
+                self._peer_delays.pop(peer, None)
+
+    def peer_delay(self, peer: str) -> float:
+        """The injected extra latency for ``peer`` (seconds)."""
+        with self._lock:
+            return self._peer_delays.get(peer, 0.0)
 
     def _broken_peers(self) -> Iterable[str]:
         """Peers broken by the backend itself (beyond injected failures)."""
@@ -189,6 +274,23 @@ class TransportBase:
     def rpc_count(self) -> int:
         """Total RPCs attempted across all peers and operations."""
         return self._rpc_count
+
+    # -- delta scans -------------------------------------------------------
+
+    def scan_batch_since(
+        self, peer: str, requests: Sequence[SinceScanRequest]
+    ) -> List[ScanSinceResult]:
+        """Delta-capable scan batch; the base falls back to full scans.
+
+        Backends without a delta implementation serve every request as a
+        full rescan through their (possibly subclass-overridden)
+        :meth:`scan_batch`, with no version token — callers then simply
+        never send a ``since`` cursor to this backend.
+        """
+        rows = self.scan_batch(  # type: ignore[attr-defined]
+            peer, [(relation, encoded) for relation, encoded, _ in requests]
+        )
+        return [(True, None, result) for result in rows]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -261,9 +363,9 @@ class LoopbackTransport(TransportBase):
         Zero-latency loopback RPCs are plain function calls under the
         GIL — a thread pool adds overhead and wins nothing — so the
         remote source scatters sequentially unless latency (per RPC or
-        per row) is injected.
+        per row, globally or per peer) is injected.
         """
-        return self.delay > 0 or self.row_cost > 0
+        return self.delay > 0 or self.row_cost > 0 or bool(self._peer_delays)
 
     # -- the wire ----------------------------------------------------------
 
@@ -284,6 +386,9 @@ class LoopbackTransport(TransportBase):
                     )
         if self.delay > 0:
             time.sleep(self.delay)
+        extra = self.peer_delay(peer)
+        if extra > 0:
+            time.sleep(extra)
 
     def peers(self) -> Tuple[str, ...]:
         return tuple(self._instances)
@@ -306,6 +411,47 @@ class LoopbackTransport(TransportBase):
         self._count_scans(peer, len(requests))
         if self.row_cost > 0:
             time.sleep(self.row_cost * sum(len(rows) for rows in results))
+        return results
+
+    def scan_batch_since(
+        self, peer: str, requests: Sequence[SinceScanRequest]
+    ) -> List[ScanSinceResult]:
+        """Delta-capable scans against the live instance.
+
+        When a subclass overrides :meth:`scan_batch` (the chaos and
+        probing tests do), or when no request carries a cursor, the scan
+        is routed through that polymorphic :meth:`scan_batch` so the
+        override keeps seeing every wire scan; version tokens are read
+        *before* the scan, so a racing insert can only make the token
+        stale (re-shipping rows the memo already holds — harmless after
+        the merge dedup), never too new.
+        """
+        uses_base_scan = type(self).scan_batch is LoopbackTransport.scan_batch
+        if not uses_base_scan or all(since is None for _, _, since in requests):
+            instance = self._instances.get(peer)
+            tokens = (
+                {relation: instance.data_version(relation)
+                 for relation, _, _ in requests}
+                if instance is not None else {}
+            )
+            rows = self.scan_batch(
+                peer, [(relation, encoded) for relation, encoded, _ in requests]
+            )
+            return [
+                (True, tokens.get(relation), result)
+                for (relation, _, _), result in zip(requests, rows)
+            ]
+        self._enter_rpc(peer, scan=True)
+        instance = self._instances[peer]
+        results = [
+            scan_instance_since(instance, relation, encoded, since)
+            for relation, encoded, since in requests
+        ]
+        self._count_scans(peer, len(requests))
+        if self.row_cost > 0:
+            time.sleep(
+                self.row_cost * sum(len(rows) for _, _, rows in results)
+            )
         return results
 
     def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:

@@ -11,6 +11,11 @@ Two families over random small PDMSs:
   whenever anything was actually lost the ``completeness`` flag is
   ``False``; restoring the peers restores exact answers (the fragment
   cache never launders a degraded partial into a complete one).
+* **Tail-latency chaos** (ISSUE 9) — under the retry/hedge policy,
+  transient dropped RPCs are *healed*: answers equal the chase oracle
+  exactly and ``complete`` is truthfully re-earned; hedged scans against
+  replicated placements stay exact; and an expired deadline budget
+  degrades with an honest ``complete=False``, never a wrong answer.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -21,7 +26,9 @@ from repro.pdms import (
     LoopbackTransport,
     QueryService,
     RemotePeerFactSource,
+    ScanPolicy,
     ServiceCluster,
+    ShardMap,
     certain_answers,
     combine_peer_instances,
     evaluate_distributed,
@@ -169,5 +176,97 @@ class TestChaosSoundness:
         for query in queries:  # healed: exact again through the same cache
             healed = evaluate_distributed(
                 reformulate(pdms, query), source, cache=cache)
+            assert healed.complete
+            assert healed.rows == frozenset(_oracle(pdms, query, data))
+
+
+#: Deterministic tail-latency policies: no backoff sleeps, no jitter.
+_FAST = dict(backoff=0.0, backoff_cap=0.0, jitter=0.0)
+
+
+def _replicate(data):
+    """Mirror each single-owner relation onto a twin peer sharing the same
+    live instance (perfect replicas), registered as one replicated shard.
+
+    Multi-owner relations stay unregistered — their rows are split across
+    peers, so replica-group semantics would not be sound for them.
+    """
+    owners = {}
+    for peer, instance in data.items():
+        for relation in instance.relations():
+            owners.setdefault(relation, []).append(peer)
+    mirrored = dict(data)
+    shard_map = ShardMap()
+    for relation, rel_owners in owners.items():
+        if len(rel_owners) != 1:
+            continue
+        peer = rel_owners[0]
+        twin = f"{peer}~replica"
+        mirrored.setdefault(twin, data[peer])
+        shard_map.shard_by_hash(relation, 0, [(peer, twin)])
+    return mirrored, shard_map
+
+
+class TestTailLatencyChaos:
+    @given(spec=pdms_specs(), drop_every=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=15, **COMMON)
+    def test_retries_heal_transient_drops_exactly(self, spec, drop_every):
+        """Bounded retries turn every transient drop into an exact,
+        truthfully *complete* answer — degradation is re-earned, not
+        permanent (consecutive scan RPCs can never both be dropped)."""
+        pdms, data, queries = build_pdms(spec)
+        transport = LoopbackTransport(data, drop_every_n=drop_every)
+        source = RemotePeerFactSource(
+            transport, policy=ScanPolicy(retries=3, hedging=False, **_FAST)
+        )
+        for query in queries:
+            answer = evaluate_distributed(reformulate(pdms, query), source)
+            assert answer.rows == frozenset(_oracle(pdms, query, data))
+            assert answer.complete and not answer.failures
+        assert source.failure_count == 0
+
+    @given(spec=pdms_specs(), drop_every=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, **COMMON)
+    def test_hedged_replicated_scans_stay_exact(self, spec, drop_every):
+        """Aggressive hedging across replicas, racing under dropped RPCs,
+        still agrees with the chase oracle exactly — first-success-wins
+        never mixes partial results."""
+        pdms, data, queries = build_pdms(spec)
+        mirrored, shard_map = _replicate(data)
+        transport = LoopbackTransport(mirrored, drop_every_n=drop_every)
+        source = RemotePeerFactSource(
+            transport,
+            shard_map=shard_map,
+            policy=ScanPolicy(retries=3, hedge=0.0, hedging=True, **_FAST),
+        )
+        for query in queries:
+            answer = evaluate_distributed(reformulate(pdms, query), source)
+            assert answer.rows == frozenset(_oracle(pdms, query, data))
+            assert answer.complete
+
+    @given(spec=pdms_specs())
+    @settings(max_examples=8, **COMMON)
+    def test_deadline_expiry_reports_incomplete_then_heals(self, spec):
+        """An expired deadline budget degrades honestly — a sound subset
+        with ``complete=False`` — and the next healthy round is exact."""
+        pdms, data, queries = build_pdms(spec)
+        transport = LoopbackTransport(data)
+        source = RemotePeerFactSource(
+            transport,
+            policy=ScanPolicy(retries=1, hedging=False, deadline=0.02, **_FAST),
+        )
+        slow = sorted(data)[0]
+        transport.set_peer_delay(slow, 0.1)
+        for query in queries[:2]:
+            oracle = frozenset(_oracle(pdms, query, data))
+            window = source.failure_count
+            answer = evaluate_distributed(reformulate(pdms, query), source)
+            assert answer.rows <= oracle
+            if source.failure_count > window:
+                assert not answer.complete
+                assert source.scatter_stats()["deadline_expiries"] >= 1
+        transport.set_peer_delay(slow, 0.0)
+        for query in queries[:2]:
+            healed = evaluate_distributed(reformulate(pdms, query), source)
             assert healed.complete
             assert healed.rows == frozenset(_oracle(pdms, query, data))
