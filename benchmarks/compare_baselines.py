@@ -79,6 +79,10 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("cases.retry_completeness.healed_complete", "exact"),
         ("cases.delta_vs_full.rows_ratio", "exact"),
     ),
+    "BENCH_observability.json": (
+        ("cases.tracing_off.overhead_margin", "timing"),
+        ("cases.tracing_on.off_vs_on_ratio", "timing"),
+    ),
     # BENCH_eval.json records absolute per-case timings only (no
     # machine-portable ratios), so it has nothing to guard here.
 }

@@ -237,6 +237,49 @@ def transport_backend() -> str:
     return choice_from_env("REPRO_TRANSPORT", "loopback", ("loopback", "socket"))
 
 
+def trace_enabled() -> bool:
+    """Whether query-lifecycle tracing is on (``REPRO_TRACE``).
+
+    Off by default: :func:`repro.obs.trace.get_tracer` hands out the
+    no-op :data:`~repro.obs.trace.NULL_SPAN` for every query, so
+    instrumentation sites cost ~nothing (the gate guarded by
+    ``BENCH_observability.json``).  When on, each answered query builds
+    a trace tree — reformulation, planning, fragment evaluation, scatter
+    waves, every remote scan attempt — subject to the sampling rate
+    below.  See ``docs/observability.md``.
+    """
+    return bool_from_env("REPRO_TRACE", False)
+
+
+def trace_sample_rate() -> float:
+    """Fraction of queries traced when tracing is on (``REPRO_TRACE_SAMPLE``).
+
+    Default 1.0 (trace everything).  The sampling decision is made once
+    per query at the trace root; an unsampled query runs on the same
+    no-op path as tracing-off, which is how a busy deployment keeps
+    tracing enabled at, say, 0.01 without paying for every query.
+    """
+    value = float_from_env("REPRO_TRACE_SAMPLE", 1.0)
+    if value > 1.0:
+        raise EvaluationError(
+            f"REPRO_TRACE_SAMPLE={value!r} must be within [0, 1]"
+        )
+    return value
+
+
+def trace_sink_path() -> "str | None":
+    """JSONL file completed traces are appended to (``REPRO_TRACE_SINK``).
+
+    Unset (the default) keeps traces only in the tracer's bounded
+    in-memory ring.  When set, every sampled trace is appended as one
+    JSON line at root-span close; render with
+    ``python -m repro.obs.export <path>``.  A sink write failure
+    disables the sink rather than failing the query it was observing.
+    """
+    raw = os.environ.get("REPRO_TRACE_SINK")
+    return raw if raw else None
+
+
 def race_margin() -> float:
     """Cost ratio that makes a challenger raceable (``REPRO_RACE_MARGIN``).
 

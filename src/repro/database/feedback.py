@@ -41,6 +41,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from ..obs.metrics import METRICS_SCHEMA_VERSION
+
 __all__ = [
     "AdaptiveStats",
     "QErrorLog",
@@ -134,6 +136,7 @@ class AdaptiveStats:
 
     def as_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "observations": self.observations,
             "corrections": self.corrections,
             "corrections_applied": self.corrections_applied,

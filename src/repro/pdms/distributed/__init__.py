@@ -45,6 +45,13 @@ real:
   circuit breaker that probes and recovers after a cooldown instead of
   staying open forever).
 
+Every transport propagates the :mod:`repro.obs.trace` wire context
+(trace/span ids ride scan and insert RPCs out of band, so worker-side
+serve spans stitch into the caller's trace tree), and every stats
+surface in the package registers into the owning service's
+:class:`~repro.obs.metrics.MetricsRegistry` — see
+``docs/observability.md``.
+
 See ``docs/distributed.md`` for the wire contract, failure semantics, and
 the consolidated table of every ``REPRO_*`` environment knob, and
 ``docs/sharding.md`` for placement, pruning, and cache-tier semantics.

@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ...database.instance import Instance
 from ...errors import InstanceError, TransportError
 from ...config import transport_timeout_seconds as _config_transport_timeout
+from ...obs.trace import ServeSpan, current_wire_context
 from .transport import (
     RelationInfo,
     Row,
@@ -57,6 +58,8 @@ from .transport import (
     decode_pattern,
     describe_instance,
     scan_instance_since,
+    traced_reply,
+    unwrap_envelope,
 )
 
 __all__ = ["AsyncSocketTransport"]
@@ -147,9 +150,14 @@ class AsyncSocketTransport(TransportBase):
                 frame = await _read_frame(reader)
                 if frame is None:
                     break
-                op, peer, payload = frame
+                # Tolerant unpacking: a traced request appends the wire
+                # trace context as a fourth element; servers that ignore
+                # trailing elements keep serving either shape — the
+                # forward-compatibility contract.
+                op, peer, payload = frame[0], frame[1], frame[2]
+                ctx = frame[3] if len(frame) > 3 else None
                 try:
-                    response = ("ok", await self._serve(op, peer, payload))
+                    response = ("ok", await self._serve(op, peer, payload, ctx))
                 except (ValueError, InstanceError) as exc:
                     response = ("data_error", (type(exc).__name__, str(exc)))
                 except TransportError as exc:
@@ -165,7 +173,9 @@ class AsyncSocketTransport(TransportBase):
             self._handler_tasks.discard(task)
             writer.close()
 
-    async def _serve(self, op: str, peer: str, payload: object) -> object:
+    async def _serve(
+        self, op: str, peer: str, payload: object, ctx: object = None
+    ) -> object:
         instance = self._instances.get(peer)
         if instance is None:
             raise TransportError(f"unknown peer {peer!r}", peer=peer)
@@ -174,25 +184,47 @@ class AsyncSocketTransport(TransportBase):
             await asyncio.sleep(wire_delay)
         if op == "describe":
             return describe_instance(instance)
+        # Serve spans cover the full server-side service time, injected
+        # chaos sleeps included — which is exactly what the client-side
+        # attempt span needs subtracted to attribute time to the wire.
         if op == "scan":
-            results = [
-                tuple(instance.get_matching(relation, decode_pattern(encoded)))
-                for relation, encoded in payload
-            ]
-            await self._charge_rows(sum(len(rows) for rows in results))
-            return results
+            span = ServeSpan(ctx, "rpc.serve.scan", peer=peer, transport="socket")
+            with span:
+                results = [
+                    tuple(instance.get_matching(relation, decode_pattern(encoded)))
+                    for relation, encoded in payload
+                ]
+                if span.recording:
+                    span.set("requests", len(payload))
+                    span.set("rows", sum(len(rows) for rows in results))
+                await self._charge_rows(sum(len(rows) for rows in results))
+            return traced_reply(results, span)
         if op == "scan_since":
-            results = [
-                scan_instance_since(instance, relation, encoded, since)
-                for relation, encoded, since in payload
-            ]
-            await self._charge_rows(sum(len(rows) for _, _, rows in results))
-            return results
+            span = ServeSpan(
+                ctx, "rpc.serve.scan_since", peer=peer, transport="socket"
+            )
+            with span:
+                results = [
+                    scan_instance_since(instance, relation, encoded, since)
+                    for relation, encoded, since in payload
+                ]
+                if span.recording:
+                    span.set("requests", len(payload))
+                    span.set("rows", sum(len(rows) for _, _, rows in results))
+                await self._charge_rows(sum(len(rows) for _, _, rows in results))
+            return traced_reply(results, span)
         if op == "insert":
             relation, rows = payload
-            for row in rows:
-                instance.add(relation, row)
-            return len(rows)
+            span = ServeSpan(
+                ctx, "rpc.serve.insert", peer=peer, transport="socket",
+                relation=relation,
+            )
+            with span:
+                for row in rows:
+                    instance.add(relation, row)
+                if span.recording:
+                    span.set("rows", len(rows))
+            return traced_reply(len(rows), span)
         if op == "ping":
             return "pong"
         raise TransportError(f"unknown op {op!r}", peer=peer)
@@ -220,11 +252,20 @@ class AsyncSocketTransport(TransportBase):
         else:
             conn.writer.close()
 
-    async def _rpc(self, peer: str, op: str, payload: object) -> object:
+    async def _rpc(
+        self, peer: str, op: str, payload: object, trace: object = None
+    ) -> object:
         conn = await self._acquire(peer)
         clean = False
         try:
-            await _write_frame(conn.writer, (op, peer, payload))
+            # The frame only grows a fourth element when a trace context
+            # rides along — untraced requests stay byte-identical to the
+            # pre-tracing wire format.
+            await _write_frame(
+                conn.writer,
+                (op, peer, payload) if trace is None
+                else (op, peer, payload, trace),
+            )
             frame = await _read_frame(conn.reader)
             clean = frame is not None
         finally:
@@ -240,7 +281,9 @@ class AsyncSocketTransport(TransportBase):
             )
         status, value = frame
         if status == "ok":
-            return value
+            # A traced reply arrives enveloped with the server's serve
+            # span; adopt it into the live trace and hand back the value.
+            return unwrap_envelope(value)
         if status == "data_error":
             kind, message = value
             raise (InstanceError if kind == "InstanceError" else ValueError)(message)
@@ -264,8 +307,11 @@ class AsyncSocketTransport(TransportBase):
                     )
 
     def _run(self, peer: str, op: str, payload: object) -> object:
+        # Capture the caller thread's wire context here: _rpc executes on
+        # the event-loop thread, where the thread-local is not visible.
         future = asyncio.run_coroutine_threadsafe(
-            self._rpc(peer, op, payload), self._loop
+            self._rpc(peer, op, payload, trace=current_wire_context()),
+            self._loop,
         )
         try:
             return future.result(self._timeout if self._timeout else None)
@@ -333,9 +379,10 @@ class AsyncSocketTransport(TransportBase):
         """
         self._precheck(peer, scan=True)
         batch = list(requests)
+        trace = current_wire_context()
 
         async def go() -> List[ScanSinceResult]:
-            results = await self._rpc(peer, "scan_since", batch)
+            results = await self._rpc(peer, "scan_since", batch, trace=trace)
             self._count_scans(peer, len(batch))
             return results
 

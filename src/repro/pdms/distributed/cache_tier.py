@@ -43,10 +43,12 @@ import itertools
 import pickle
 import threading
 from collections import OrderedDict
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ...datalog.indexing import WILDCARD
 from ...errors import EvaluationError, InstanceError, TransportError
+from ...obs.metrics import METRICS_SCHEMA_VERSION
+from ...obs.trace import current_span, wire_context
 from ..materialization import DEFAULT_FRAGMENT_CACHE_BYTES
 from .hedging import HalfOpenBreaker
 from .transport import EncodedPattern, Row, Transport, encode_pattern
@@ -206,6 +208,18 @@ class FragmentStore:
                 self._version += 1
                 self.invalidations += len(doomed)
 
+    def stats(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of the store's occupancy and churn."""
+        with self._lock:
+            return {
+                "schema_version": METRICS_SCHEMA_VERSION,
+                "entries": len(self._entries),
+                "current_bytes": self._current_bytes,
+                "max_bytes": self._max_bytes,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
     @property
     def max_bytes(self) -> int:
         return self._max_bytes
@@ -280,6 +294,15 @@ class CacheTierClient:
             self._breaker.record_failure("cache peer RPC failed")
             self.failures += 1
 
+    def stats(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of the client's health counters."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "peer": self._peer,
+            "failures": self.failures,
+            "degraded": self.degraded,
+        }
+
     # -- the tier surface --------------------------------------------------
 
     def get(self, key: str, token: object) -> Tuple[str, object]:
@@ -292,9 +315,12 @@ class CacheTierClient:
             return ("error", None)
         probe: EncodedPattern = encode_pattern((key, token, WILDCARD, WILDCARD))
         try:
-            batches = self._transport.scan_batch(
-                self._peer, [(FRAGMENTS_RELATION, probe)]
-            )
+            # Stitch the cache peer's serve span under the ambient
+            # fragment.cache span (None installs "untraced").
+            with wire_context(current_span().wire_context()):
+                batches = self._transport.scan_batch(
+                    self._peer, [(FRAGMENTS_RELATION, probe)]
+                )
         except TransportError:
             self._note(ok=False)
             return ("error", None)
@@ -322,7 +348,8 @@ class CacheTierClient:
             return False  # unpicklable results simply stay local
         row = (key, token, tuple(sorted(relations)), payload)
         try:
-            self._transport.insert(self._peer, FRAGMENTS_RELATION, [row])
+            with wire_context(current_span().wire_context()):
+                self._transport.insert(self._peer, FRAGMENTS_RELATION, [row])
         except TransportError:
             self._note(ok=False)
             return False
@@ -335,7 +362,8 @@ class CacheTierClient:
         if not names or not self._breaker.allow():
             return False
         try:
-            self._transport.insert(self._peer, EVICT_RELATION, names)
+            with wire_context(current_span().wire_context()):
+                self._transport.insert(self._peer, EVICT_RELATION, names)
         except TransportError:
             self._note(ok=False)
             return False

@@ -28,11 +28,14 @@ whose provenance invalidation is unchanged.
 
 from __future__ import annotations
 
+import copy
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ...datalog.queries import ConjunctiveQuery
 from ...errors import EvaluationError, PDMSConfigurationError
+from ...obs.metrics import METRICS_SCHEMA_VERSION
+from ...obs.trace import current_span, get_tracer, wire_context
 from ..optimizations import ReformulationConfig
 from ..service import QueryService, ServiceStats
 from ..system import PDMS
@@ -143,6 +146,10 @@ class ServiceCluster:
                 fragment_cache_bytes=fragment_cache_bytes,
                 cache_tier=cache_tier,
             )
+        if self._source is not None:
+            # The source's scatter/latency/transport snapshots become pull
+            # collectors in the service's unified registry (weakly held).
+            self._source.bind_metrics(self._service.metrics)
         if max_inflight is not None:
             bound = max_inflight
         else:
@@ -215,6 +222,7 @@ class ServiceCluster:
                 peers[peer] = counter(peer) if callable(counter) else 0
         with self._gauge_lock:
             snapshot: Dict[str, object] = {
+                "schema_version": METRICS_SCHEMA_VERSION,
                 "served": self._served,
                 "inflight": self._inflight,
                 "peak_inflight": self._peak_inflight,
@@ -231,7 +239,13 @@ class ServiceCluster:
             snapshot["peer_latency"] = self._source.latency_stats()
         if self._shard_map is not None:
             snapshot["sharding"] = self._shard_map.describe()
-        return snapshot
+        snapshot["metrics"] = self._service.metrics_snapshot()
+        # Every contributor above builds fresh containers today, but one
+        # returning a live dict would hand callers a mutable alias into
+        # running counters (and vice versa).  A deep copy of plain
+        # JSON-ish data is cheap on this cold path and makes the snapshot
+        # contract unconditional.
+        return copy.deepcopy(snapshot)
 
     # -- writes ------------------------------------------------------------
 
@@ -254,15 +268,26 @@ class ServiceCluster:
             self._shard_map is None or not self._shard_map.is_sharded(relation)
         ):
             fallback = self._source.owners(relation)
-        count = insert_routed(
-            self._transport,
-            self._shard_map,
-            relation,
-            rows,
-            fallback_peers=fallback,
+        parent = current_span()
+        span = (
+            parent.child("cluster.insert", relation=relation)
+            if parent.recording
+            else get_tracer().start_trace("cluster.insert", relation=relation)
         )
-        if self._source is not None:
-            self._source.refresh()
+        # The wire context installed here parents the per-peer
+        # ``rpc.serve.insert`` spans under this write.
+        with span, wire_context(span.wire_context()):
+            count = insert_routed(
+                self._transport,
+                self._shard_map,
+                relation,
+                rows,
+                fallback_peers=fallback,
+            )
+            if span.recording:
+                span.set("rows", count)
+            if self._source is not None:
+                self._source.refresh()
         return count
 
     # -- answering ---------------------------------------------------------

@@ -52,6 +52,7 @@ from ...database.feedback import QErrorLog
 from ...datalog.evaluation import as_fact_source
 from ...datalog.indexing import ensure_indexed
 from ...errors import EvaluationError
+from ...obs.trace import current_span
 from ..execution import (
     PeerFactSource,
     Row,
@@ -177,7 +178,10 @@ class DistributedEngine:
         owns_source = False
         if isinstance(data, RemotePeerFactSource):
             remote = data
-            remote.refresh()
+            # One describe round per call so the evaluation sees current
+            # version tokens; a real wire round, so it gets its own span.
+            with current_span().child("source.refresh"):
+                remote.refresh()
         elif isinstance(data, PeerFactSource):
             # Wrap the live per-peer instances in a per-call loopback
             # boundary: same answers, but every probe crosses the wire

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ... import config as _config
+from ...obs.metrics import METRICS_SCHEMA_VERSION
 
 __all__ = ["HalfOpenBreaker", "PeerLatencyTracker", "ScanPolicy"]
 
@@ -234,6 +235,20 @@ class ScanPolicy:
             hedging=hedge_raw >= 0,
             deadline=deadline if deadline > 0 else None,
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """The policy as a JSON-friendly snapshot (stats surfaces embed it)."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "retries": self.retries,
+            "backoff_s": self.backoff,
+            "backoff_cap_s": self.backoff_cap,
+            "jitter": self.jitter,
+            "hedge_s": self.hedge,
+            "hedging": self.hedging,
+            "deadline_s": self.deadline,
+            "min_hedge_samples": self.min_hedge_samples,
+        }
 
     def backoff_delay(self, attempt: int, rng=random) -> float:
         """Sleep before retry number ``attempt`` (0-based), jittered."""

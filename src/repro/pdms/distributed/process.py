@@ -12,8 +12,13 @@ Protocol (one request/response pair per RPC, length-prefixed by the pipe):
 
 * request: ``(op, payload)`` where ``op`` is ``"describe"``,
   ``"scan_batch"``, ``"insert"``, ``"ping"``, ``"sleep"`` (chaos aid for
-  timeout tests), or ``"stop"``;
-* response: ``("ok", value)``, ``("data_error", (kind, message))``
+  timeout tests), or ``"stop"``; a traced request appends a third
+  element (the wire trace context) which workers unpack tolerantly —
+  ignoring trailing elements is the forward-compatibility contract;
+* response: ``("ok", value)`` — where ``value`` is wrapped in a
+  :class:`~repro.pdms.distributed.transport.TraceEnvelope` carrying the
+  worker's serve span *only* when the request was traced —
+  ``("data_error", (kind, message))``
   (malformed probe or invalid insert — re-raised client-side as the
   same ``ValueError`` / :class:`~repro.errors.InstanceError` a local
   instance would raise, so the two backends stay interchangeable), or
@@ -51,6 +56,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ...database.instance import Instance
 from ...errors import InstanceError, TransportError
 from ...config import transport_timeout_seconds as _config_transport_timeout
+from ...obs.trace import ServeSpan, current_wire_context
 from .hedging import HalfOpenBreaker
 from .transport import (
     RelationInfo,
@@ -62,6 +68,8 @@ from .transport import (
     decode_pattern,
     describe_instance,
     scan_instance_since,
+    traced_reply,
+    unwrap_envelope,
 )
 
 #: Process-unique transport nonces; combined with the pid they make the
@@ -90,11 +98,18 @@ def _serve_peer(conn, instance: Instance) -> None:
     under "fork" — so declared-but-empty relations keep their arity and
     schema validation keeps applying to remote inserts.
     """
+    pid = os.getpid()
     while True:
         try:
-            op, arg = conn.recv()
+            message = conn.recv()
         except (EOFError, OSError):
             break
+        # Tolerant unpacking is the wire-compatibility contract: an
+        # untraced request is the bare (op, arg) pair it always was, a
+        # traced one appends the wire trace context, and a worker that
+        # ignores trailing elements keeps serving either shape.
+        op, arg = message[0], message[1]
+        ctx = message[2] if len(message) > 2 else None
         try:
             if op == "stop":
                 conn.send(("ok", None))
@@ -110,21 +125,45 @@ def _serve_peer(conn, instance: Instance) -> None:
             elif op == "describe":
                 conn.send(("ok", describe_instance(instance)))
             elif op == "scan_batch":
-                results = []
-                for relation, encoded in arg:
-                    pattern = decode_pattern(encoded)
-                    results.append(tuple(instance.get_matching(relation, pattern)))
-                conn.send(("ok", results))
+                span = ServeSpan(
+                    ctx, "rpc.serve.scan", transport="process", pid=pid
+                )
+                with span:
+                    results = []
+                    for relation, encoded in arg:
+                        pattern = decode_pattern(encoded)
+                        results.append(
+                            tuple(instance.get_matching(relation, pattern))
+                        )
+                    if span.recording:
+                        span.set("requests", len(arg))
+                        span.set("rows", sum(len(r) for r in results))
+                conn.send(("ok", traced_reply(results, span)))
             elif op == "scan_since":
-                conn.send(("ok", [
-                    scan_instance_since(instance, relation, encoded, since)
-                    for relation, encoded, since in arg
-                ]))
+                span = ServeSpan(
+                    ctx, "rpc.serve.scan_since", transport="process", pid=pid
+                )
+                with span:
+                    results = [
+                        scan_instance_since(instance, relation, encoded, since)
+                        for relation, encoded, since in arg
+                    ]
+                    if span.recording:
+                        span.set("requests", len(arg))
+                        span.set("rows", sum(len(rows) for _, _, rows in results))
+                conn.send(("ok", traced_reply(results, span)))
             elif op == "insert":
                 relation, rows = arg
-                for row in rows:
-                    instance.add(relation, row)
-                conn.send(("ok", len(rows)))
+                span = ServeSpan(
+                    ctx, "rpc.serve.insert", transport="process", pid=pid,
+                    relation=relation,
+                )
+                with span:
+                    for row in rows:
+                        instance.add(relation, row)
+                    if span.recording:
+                        span.set("rows", len(rows))
+                conn.send(("ok", traced_reply(len(rows), span)))
             else:
                 conn.send(("error", f"unknown op {op!r}"))
         except (ValueError, InstanceError) as exc:
@@ -256,7 +295,7 @@ class ProcessTransport(TransportBase):
             worker.outstanding -= 1
         return True
 
-    def _call(self, peer: str, op: str, arg: object):
+    def _call(self, peer: str, op: str, arg: object, trace=None):
         if self._closed:
             raise TransportError("transport is closed", peer=peer)
         worker = self._workers.get(peer)
@@ -288,7 +327,12 @@ class ProcessTransport(TransportBase):
                         f"peer {peer!r} circuit is broken: straggling "
                         f"response still pending", peer=peer
                     )
-                worker.conn.send((op, arg))
+                # The wire message only grows a third element when a
+                # trace context rides along — untraced requests stay
+                # byte-identical to the pre-tracing wire format.
+                worker.conn.send(
+                    (op, arg) if trace is None else (op, arg, trace)
+                )
                 worker.outstanding += 1
                 if self._timeout and not worker.conn.poll(self._timeout):
                     # Keep the pipe: the response may yet straggle in and
@@ -307,7 +351,9 @@ class ProcessTransport(TransportBase):
                     f"peer {peer!r} connection lost: {exc}", peer=peer
                 ) from exc
         if status == "ok":
-            return value
+            # A traced reply arrives enveloped with the worker's serve
+            # span; adopt it into the live trace and hand back the value.
+            return unwrap_envelope(value)
         if status == "data_error":
             kind, message = value
             raise (InstanceError if kind == "InstanceError" else ValueError)(message)
@@ -336,7 +382,9 @@ class ProcessTransport(TransportBase):
     def scan_batch(
         self, peer: str, requests: Sequence[ScanRequest]
     ) -> List[Tuple[Row, ...]]:
-        results = self._call(peer, "scan_batch", list(requests))
+        results = self._call(
+            peer, "scan_batch", list(requests), trace=current_wire_context()
+        )
         self._count_scans(peer, len(requests))
         return results
 
@@ -356,7 +404,9 @@ class ProcessTransport(TransportBase):
             ):
                 raw = since[1]
             wire.append((relation, encoded, raw))
-        results = self._call(peer, "scan_since", wire)
+        results = self._call(
+            peer, "scan_since", wire, trace=current_wire_context()
+        )
         self._count_scans(peer, len(requests))
         return [
             (full, (self._nonce, token) if token is not None else None, rows)
@@ -364,7 +414,10 @@ class ProcessTransport(TransportBase):
         ]
 
     def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:
-        return self._call(peer, "insert", (relation, [tuple(row) for row in rows]))
+        return self._call(
+            peer, "insert", (relation, [tuple(row) for row in rows]),
+            trace=current_wire_context(),
+        )
 
     def close(self) -> None:
         """Stop every worker and release the pipes (idempotent)."""

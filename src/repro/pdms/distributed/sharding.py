@@ -54,6 +54,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ...database.instance import Instance
 from ...datalog.indexing import WILDCARD, Pattern
 from ...errors import PDMSConfigurationError
+from ...obs.metrics import METRICS_SCHEMA_VERSION
+from ...obs.trace import current_span
 
 Row = Tuple[object, ...]
 
@@ -286,6 +288,18 @@ class ShardMap:
             }
         return out
 
+    def as_dict(self) -> Dict[str, object]:
+        """The schema-versioned twin of :meth:`describe`.
+
+        ``describe()`` keeps its relation-keyed shape (cluster snapshots
+        embed it under ``"sharding"``); metrics surfaces register this
+        wrapper instead so every collected snapshot carries the version.
+        """
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "relations": self.describe(),
+        }
+
     # -- the pruning rule --------------------------------------------------
 
     def owners_for_pattern(
@@ -437,18 +451,23 @@ def _split_instance(
     if memo is not None and memo[0] == (shards, column, snapshot):
         return memo[1]
     names = shard_peer_names(peer, shards)
-    parts: Dict[str, Instance] = {name: Instance() for name in names}
-    for relation in instance.relations():
-        arity = instance.arity(relation)
-        if arity is None:
-            continue
-        if arity > column:
-            partition = HashPartition(column, shards)
-            for row in instance.get_tuples(relation):
-                parts[names[partition.shard_of(row[column])]].add(relation, row)
-        else:
-            for row in instance.get_tuples(relation):
-                parts[names[0]].add(relation, row)
+    # Only the cold (non-memoized) split gets a span: it hashes every row
+    # of the instance, while the memo hit above costs a dict probe.
+    with current_span().child("shard.split", peer=peer, shards=shards):
+        parts: Dict[str, Instance] = {name: Instance() for name in names}
+        for relation in instance.relations():
+            arity = instance.arity(relation)
+            if arity is None:
+                continue
+            if arity > column:
+                partition = HashPartition(column, shards)
+                for row in instance.get_tuples(relation):
+                    parts[names[partition.shard_of(row[column])]].add(
+                        relation, row
+                    )
+            else:
+                for row in instance.get_tuples(relation):
+                    parts[names[0]].add(relation, row)
     _split_memo_put(instance, ((shards, column, snapshot), parts))
     return parts
 

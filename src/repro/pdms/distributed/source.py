@@ -71,6 +71,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ...datalog.indexing import WILDCARD, Pattern
 from ...errors import MappingError, TransportError
 from ...config import distributed_workers as _config_distributed_workers
+from ...obs.metrics import METRICS_SCHEMA_VERSION
+from ...obs.trace import NULL_SPAN, current_span, wire_context
 from .hedging import PeerLatencyTracker, ScanPolicy
 from .transport import EncodedPattern, RelationInfo, Row, Transport, encode_pattern
 
@@ -306,6 +308,7 @@ class RemotePeerFactSource:
         """
         with self._lock:
             return {
+                "schema_version": METRICS_SCHEMA_VERSION,
                 "pruned_scans": self._pruned_scans,
                 "fanout_scans": self._fanout_scans,
                 "pruned_waves": self._pruned_waves,
@@ -320,9 +323,31 @@ class RemotePeerFactSource:
                 "full_rows_shipped": self._full_rows,
             }
 
-    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+    def latency_stats(self) -> Dict[str, object]:
         """Per-peer scan-latency EWMA snapshot (count, mean, p95; ms)."""
-        return self._tracker.snapshot()
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "peers": self._tracker.snapshot(),
+        }
+
+    def bind_metrics(self, registry) -> None:
+        """Register this source's snapshots as pull collectors.
+
+        The registry holds the bound methods weakly (see
+        :meth:`~repro.obs.metrics.MetricsRegistry.register_collector`), so
+        binding never extends the source's lifetime; a closed/collected
+        source simply drops out of later snapshots.
+        """
+        registry.register_collector("scatter", self.scatter_stats)
+        registry.register_collector("peer_latency", self.latency_stats)
+        registry.register_collector("scan_policy", self._policy.as_dict)
+        if self._shard_map is not None:
+            as_dict = getattr(self._shard_map, "as_dict", None)
+            if callable(as_dict):
+                registry.register_collector("sharding", as_dict)
+        transport_metrics = getattr(self._transport, "transport_metrics", None)
+        if callable(transport_metrics):
+            registry.register_collector("transport", transport_metrics)
 
     def relations(self) -> Tuple[str, ...]:
         """Stored relations currently reachable through this source."""
@@ -573,36 +598,72 @@ class RemotePeerFactSource:
         return out
 
     def _attempt_scan(
-        self, peer: str, keys: Sequence[Tuple[str, EncodedPattern]]
+        self,
+        peer: str,
+        keys: Sequence[Tuple[str, EncodedPattern]],
+        parent_span=NULL_SPAN,
+        kind: str = "primary",
     ) -> Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]:
         """One blocking scan attempt (raises ``TransportError`` on fault)."""
         requests, baselines = self._build_since_requests(peer, keys)
+        span = parent_span.child(
+            "scan.attempt", peer=peer, kind=kind, scans=len(requests)
+        )
         start = time.monotonic()
-        results = self._transport.scan_batch_since(peer, requests)
+        # The wire context installed around the transport call is what
+        # parents the serve-side span under this attempt.
+        with span, wire_context(span.wire_context()):
+            results = self._transport.scan_batch_since(peer, requests)
         return self._finish_scan(
             peer, keys, baselines, results, time.monotonic() - start
         )
 
+    def _traced_scan_since(self, peer: str, requests, ctx):
+        """Transport scan with the caller's wire context re-installed.
+
+        Hedge-pool threads do not inherit the submitting thread's wire
+        context (it is thread-local), so it travels as an argument.
+        """
+        with wire_context(ctx):
+            return self._transport.scan_batch_since(peer, requests)
+
     def _submit_attempt(
-        self, peer: str, keys: Sequence[Tuple[str, EncodedPattern]]
+        self,
+        peer: str,
+        keys: Sequence[Tuple[str, EncodedPattern]],
+        parent_span=NULL_SPAN,
+        kind: str = "primary",
     ):
-        """Fire one scan attempt without blocking; returns (future, baselines, start).
+        """Fire one scan attempt without blocking; returns (future, baselines, start, span).
 
         Uses the transport's native :meth:`submit_scan` when it has one
         (genuinely cancellable), else the hedge thread pool (cancellation
         is then best-effort abandonment — the losing response is simply
-        discarded).
+        discarded).  The returned ``scan.attempt`` span is owned by the
+        caller racing the future: it must close it exactly once with the
+        attempt's outcome (``ok`` / ``error`` / ``cancelled``).  On a
+        submit fault the span is closed here and the fault re-raised.
         """
         requests, baselines = self._build_since_requests(peer, keys)
+        span = parent_span.child(
+            "scan.attempt", peer=peer, kind=kind, scans=len(requests)
+        )
         start = time.monotonic()
         submit = getattr(self._transport, "submit_scan", None)
-        if submit is not None:
-            future = submit(peer, requests)
-        else:
-            future = self._attempt_pool().submit(
-                self._transport.scan_batch_since, peer, requests
-            )
-        return future, baselines, start
+        try:
+            if submit is not None:
+                # submit_scan captures the wire context on this thread
+                # before hopping to the transport's event loop.
+                with wire_context(span.wire_context()):
+                    future = submit(peer, requests)
+            else:
+                future = self._attempt_pool().submit(
+                    self._traced_scan_since, peer, requests, span.wire_context()
+                )
+        except Exception:
+            span.close("error")
+            raise
+        return future, baselines, start, span
 
     def _attempt_with_hedge(
         self,
@@ -610,12 +671,20 @@ class RemotePeerFactSource:
         hedge_peer: Optional[str],
         keys: Sequence[Tuple[str, EncodedPattern]],
         deadline_at: Optional[float],
+        parent_span=NULL_SPAN,
+        kind: str = "primary",
     ) -> Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]:
         """One attempt, possibly hedged to a replica; first success wins.
 
         Raises ``TransportError`` when every in-flight request failed
         (the caller's retry loop handles it) and :class:`_DeadlineExpired`
         when the wave budget ran out; data errors propagate as-is.
+
+        Span ownership: this racing loop owns every ``scan.attempt`` span
+        :meth:`_submit_attempt` returns, and closes each exactly once —
+        on its future's outcome, or as ``cancelled`` in the ``finally``
+        sweep that cancels the losers (including deadline expiry, where
+        every in-flight attempt is a loser).
         """
         policy = self._policy
         hedge_delay = (
@@ -624,9 +693,11 @@ class RemotePeerFactSource:
             else None
         )
         if hedge_delay is None and deadline_at is None:
-            return self._attempt_scan(primary, keys)
-        future, baselines, start = self._submit_attempt(primary, keys)
-        in_flight = {future: (primary, baselines, start)}
+            return self._attempt_scan(primary, keys, parent_span, kind)
+        future, baselines, start, span = self._submit_attempt(
+            primary, keys, parent_span, kind
+        )
+        in_flight = {future: (primary, baselines, start, span)}
         hedge_pending = hedge_delay is not None
         errors: List[TransportError] = []
         try:
@@ -654,30 +725,43 @@ class RemotePeerFactSource:
                         with self._lock:
                             self._hedges_fired += 1
                         try:
-                            h_future, h_base, h_start = self._submit_attempt(
-                                hedge_peer, keys
+                            h_future, h_base, h_start, h_span = (
+                                self._submit_attempt(
+                                    hedge_peer, keys, parent_span, "hedge"
+                                )
                             )
-                            in_flight[h_future] = (hedge_peer, h_base, h_start)
+                            in_flight[h_future] = (
+                                hedge_peer, h_base, h_start, h_span
+                            )
                         except TransportError:
                             pass  # hedge target down; primary may answer yet
                         continue
                     raise _DeadlineExpired()
                 for finished in done:
-                    peer, peer_baselines, peer_start = in_flight.pop(finished)
+                    peer, peer_baselines, peer_start, peer_span = (
+                        in_flight.pop(finished)
+                    )
                     try:
                         results = finished.result()
                     except TransportError as exc:
+                        peer_span.set("error", str(exc))
+                        peer_span.close("error")
                         errors.append(exc)
                         continue
                     except CancelledError:
+                        peer_span.close("cancelled")
                         errors.append(
                             TransportError(
                                 f"scan to {peer!r} cancelled", peer=peer
                             )
                         )
                         continue
-                    # Data errors (ValueError/InstanceError) propagate
-                    # through here, cancelling the other attempt below.
+                    except Exception:
+                        # Data errors (ValueError/InstanceError) propagate,
+                        # cancelling the other attempt below.
+                        peer_span.close("error")
+                        raise
+                    peer_span.close()
                     if peer != primary:
                         with self._lock:
                             self._hedges_won += 1
@@ -693,14 +777,16 @@ class RemotePeerFactSource:
                         f"scan to {primary!r} failed", peer=primary
                     )
         finally:
-            for leftover in in_flight:
+            for leftover, (_, _, _, loser_span) in in_flight.items():
                 leftover.cancel()
+                loser_span.close("cancelled")
 
     def _scan_unit(
         self,
         candidates: Tuple[str, ...],
         keys: Sequence[Tuple[str, EncodedPattern]],
         deadline_at: Optional[float],
+        parent_span=NULL_SPAN,
     ) -> Optional[Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]]:
         """Scan one replica group under the full policy envelope.
 
@@ -710,49 +796,79 @@ class RemotePeerFactSource:
         after exhausting the policy — in which case exactly **one**
         :class:`ScanFailure` per relation is recorded, regardless of how
         many attempts were made.
+
+        ``parent_span`` is threaded explicitly because units run on the
+        scatter pool, where the submitting thread's ambient span is not
+        visible.
         """
         policy = self._policy
         count = len(candidates)
         last_error = "no live replica"
         expired = False
-        for attempt in range(policy.retries + 1):
-            if attempt:
-                with self._lock:
-                    self._retries += 1
-                delay = policy.backoff_delay(attempt - 1)
+        succeeded = False
+        attempts = 0
+        span = parent_span.child(
+            "scan.unit",
+            replicas=count,
+            primary=candidates[0],
+            relations=",".join(sorted({key[0] for key in keys})),
+            scans=len(keys),
+        )
+        try:
+            for attempt in range(policy.retries + 1):
+                if attempt:
+                    with self._lock:
+                        self._retries += 1
+                    delay = policy.backoff_delay(attempt - 1)
+                    remaining = self._remaining(deadline_at)
+                    if remaining is not None:
+                        if remaining <= 0:
+                            expired = True
+                            break
+                        delay = min(delay, remaining)
+                    time.sleep(delay)
                 remaining = self._remaining(deadline_at)
-                if remaining is not None:
-                    if remaining <= 0:
-                        expired = True
-                        break
-                    delay = min(delay, remaining)
-                time.sleep(delay)
-            remaining = self._remaining(deadline_at)
-            if remaining is not None and remaining <= 0:
-                expired = True
-                break
-            primary = candidates[attempt % count]
-            hedge_peer = (
-                candidates[(attempt + 1) % count]
-                if count > 1 and policy.hedging
-                else None
-            )
-            try:
-                return self._attempt_with_hedge(
-                    primary, hedge_peer, keys, deadline_at
+                if remaining is not None and remaining <= 0:
+                    expired = True
+                    break
+                attempts = attempt + 1
+                primary = candidates[attempt % count]
+                hedge_peer = (
+                    candidates[(attempt + 1) % count]
+                    if count > 1 and policy.hedging
+                    else None
                 )
-            except _DeadlineExpired:
-                expired = True
-                break
-            except TransportError as exc:
-                last_error = str(exc)
-        if expired:
-            with self._lock:
-                self._deadline_expiries += 1
-            last_error = "scan deadline expired"
-        relations = sorted({key[0] for key in keys})
-        self._record_failure(candidates[0], relations, last_error)
-        return None
+                try:
+                    result = self._attempt_with_hedge(
+                        primary,
+                        hedge_peer,
+                        keys,
+                        deadline_at,
+                        parent_span=span,
+                        kind="primary" if attempt == 0 else "retry",
+                    )
+                    succeeded = True
+                    return result
+                except _DeadlineExpired:
+                    expired = True
+                    break
+                except TransportError as exc:
+                    last_error = str(exc)
+            if expired:
+                with self._lock:
+                    self._deadline_expiries += 1
+                last_error = "scan deadline expired"
+            relations = sorted({key[0] for key in keys})
+            self._record_failure(candidates[0], relations, last_error)
+            return None
+        finally:
+            if span.recording:
+                span.set("attempts", attempts)
+                if not succeeded:
+                    span.set("error", last_error)
+            span.close(
+                None if succeeded else ("deadline" if expired else "error")
+            )
 
     def prefetch(
         self,
@@ -823,25 +939,36 @@ class RemotePeerFactSource:
             return 0
         deadline_at = self._deadline_at()
         unit_items = list(units.items())
-        results: List[
-            Optional[Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]]
-        ]
-        if (
-            parallel
-            and len(unit_items) > 1
-            and getattr(self._transport, "prefers_parallel", True)
-        ):
-            pool = self._pool()
-            futures = [
-                pool.submit(self._scan_unit, group, batch, deadline_at)
-                for group, batch in unit_items
+        with current_span().child(
+            "scatter.wave",
+            scans=len(wanted),
+            units=len(unit_items),
+            pruned=pruned_in_wave,
+            fanout=fanout_in_wave,
+        ) as wave:
+            results: List[
+                Optional[Dict[Tuple[str, EncodedPattern], Tuple[Row, ...]]]
             ]
-            results = [future.result() for future in futures]
-        else:
-            results = [
-                self._scan_unit(group, batch, deadline_at)
-                for group, batch in unit_items
-            ]
+            if (
+                parallel
+                and len(unit_items) > 1
+                and getattr(self._transport, "prefers_parallel", True)
+            ):
+                pool = self._pool()
+                futures = [
+                    pool.submit(self._scan_unit, group, batch, deadline_at, wave)
+                    for group, batch in unit_items
+                ]
+                results = [future.result() for future in futures]
+            else:
+                results = [
+                    self._scan_unit(group, batch, deadline_at, wave)
+                    for group, batch in unit_items
+                ]
+            if wave.recording:
+                wave.set(
+                    "failed_units", sum(1 for per in results if per is None)
+                )
         merged: Dict[Tuple[str, EncodedPattern], List[Row]] = {
             key: [] for key in wanted
         }
@@ -876,10 +1003,17 @@ class RemotePeerFactSource:
             return ()
         deadline_at = self._deadline_at()
         rows: List[Row] = []
-        for group in groups:
-            per_key = self._scan_unit(group, [key], deadline_at)
-            if per_key is not None:
-                rows.extend(per_key[key])
+        with current_span().child(
+            "scatter.wave",
+            scans=1,
+            units=len(groups),
+            cold=True,
+            relation=predicate,
+        ) as wave:
+            for group in groups:
+                per_key = self._scan_unit(group, [key], deadline_at, wave)
+                if per_key is not None:
+                    rows.extend(per_key[key])
         combined = tuple(rows)
         with self._lock:
             # Same guard as prefetch: never resurrect rows across an

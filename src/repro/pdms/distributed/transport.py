@@ -50,6 +50,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, 
 from ...database.instance import Instance
 from ...datalog.indexing import WILDCARD, Pattern
 from ...errors import TransportError
+from ...obs.metrics import METRICS_SCHEMA_VERSION
+from ...obs.trace import ServeSpan, current_wire_context, get_tracer
 
 Row = Tuple[object, ...]
 
@@ -76,6 +78,52 @@ ScanSinceResult = Tuple[bool, object, Tuple[Row, ...]]
 
 #: ``describe`` response entry: ``(arity, cardinality, version token)``.
 RelationInfo = Tuple[int, int, object]
+
+
+class TraceEnvelope:
+    """A traced RPC reply: the real value plus worker-side span records.
+
+    Remote backends (process, socket) wrap their reply in one of these
+    *only* when the request carried a wire trace context — an untraced
+    request (the default, and everything an old client sends) gets the
+    bare value, so the reply format is exactly as before unless both
+    ends opted in.  The client-side transport method unwraps the
+    envelope and grafts the records into the caller's trace before
+    returning, so nothing above the transport layer ever sees one.
+    """
+
+    __slots__ = ("value", "spans")
+
+    def __init__(self, value, spans):
+        self.value = value
+        self.spans = spans
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEnvelope({self.value!r}, {len(self.spans)} spans)"
+
+
+def traced_reply(value, span: "ServeSpan"):
+    """Envelope a serve-side reply with its span — only when one recorded.
+
+    Untraced requests (including everything an old client sends) get the
+    bare value, keeping the reply format byte-compatible; a traced
+    request gets a :class:`TraceEnvelope` the new client unwraps.
+    """
+    records = span.records()
+    return TraceEnvelope(value, records) if records else value
+
+
+def unwrap_envelope(reply):
+    """Unwrap a possibly-enveloped reply, adopting its worker spans.
+
+    Tolerant by design: a bare reply (old peer, untraced request) passes
+    through unchanged, which is the wire-compatibility contract.
+    """
+    if isinstance(reply, TraceEnvelope):
+        if reply.spans:
+            get_tracer().adopt(reply.spans)
+        return reply.value
+    return reply
 
 
 def encode_pattern(pattern: Pattern) -> EncodedPattern:
@@ -275,6 +323,23 @@ class TransportBase:
         """Total RPCs attempted across all peers and operations."""
         return self._rpc_count
 
+    def transport_metrics(self) -> Dict[str, object]:
+        """Schema-versioned traffic counters for the metrics registry.
+
+        The transport's ad-hoc accounting (RPC total, per-peer scan
+        counts, injected/broken peers) in the uniform collector shape —
+        a fresh dict each call, safe to mutate.
+        """
+        with self._lock:
+            return {
+                "schema_version": METRICS_SCHEMA_VERSION,
+                "rpc_count": self._rpc_count,
+                "scan_counts": dict(self._scan_counts),
+                "failed_peers": sorted(
+                    self._failed | set(self._broken_peers())
+                ),
+            }
+
     # -- delta scans -------------------------------------------------------
 
     def scan_batch_since(
@@ -400,18 +465,38 @@ class LoopbackTransport(TransportBase):
     def scan_batch(
         self, peer: str, requests: Sequence[ScanRequest]
     ) -> List[Tuple[Row, ...]]:
-        self._enter_rpc(peer, scan=True)
-        instance = self._instances[peer]
-        results: List[Tuple[Row, ...]] = []
-        for relation, encoded in requests:
-            pattern = decode_pattern(encoded)
-            # ValueError (arity clash against the probing atom) propagates
-            # as-is: it is a data error, not a transport fault.
-            results.append(tuple(instance.get_matching(relation, pattern)))
-        self._count_scans(peer, len(requests))
-        if self.row_cost > 0:
-            time.sleep(self.row_cost * sum(len(rows) for rows in results))
-        return results
+        # Loopback's server side is the caller's own process, so a traced
+        # request grafts its serve span straight into the live tracer —
+        # no envelope ever crosses this "wire".
+        span = ServeSpan(
+            current_wire_context(), "rpc.serve.scan",
+            peer=peer, transport="loopback",
+        )
+        try:
+            with span:
+                self._enter_rpc(peer, scan=True)
+                instance = self._instances[peer]
+                results: List[Tuple[Row, ...]] = []
+                for relation, encoded in requests:
+                    pattern = decode_pattern(encoded)
+                    # ValueError (arity clash against the probing atom)
+                    # propagates as-is: it is a data error, not a
+                    # transport fault.
+                    results.append(
+                        tuple(instance.get_matching(relation, pattern))
+                    )
+                self._count_scans(peer, len(requests))
+                if span.recording:
+                    span.set("requests", len(requests))
+                    span.set("rows", sum(len(rows) for rows in results))
+                if self.row_cost > 0:
+                    time.sleep(
+                        self.row_cost * sum(len(rows) for rows in results)
+                    )
+                return results
+        finally:
+            if span.record is not None:
+                get_tracer().adopt(span.records())
 
     def scan_batch_since(
         self, peer: str, requests: Sequence[SinceScanRequest]
@@ -441,27 +526,52 @@ class LoopbackTransport(TransportBase):
                 (True, tokens.get(relation), result)
                 for (relation, _, _), result in zip(requests, rows)
             ]
-        self._enter_rpc(peer, scan=True)
-        instance = self._instances[peer]
-        results = [
-            scan_instance_since(instance, relation, encoded, since)
-            for relation, encoded, since in requests
-        ]
-        self._count_scans(peer, len(requests))
-        if self.row_cost > 0:
-            time.sleep(
-                self.row_cost * sum(len(rows) for _, _, rows in results)
-            )
-        return results
+        span = ServeSpan(
+            current_wire_context(), "rpc.serve.scan_since",
+            peer=peer, transport="loopback",
+        )
+        try:
+            with span:
+                self._enter_rpc(peer, scan=True)
+                instance = self._instances[peer]
+                results = [
+                    scan_instance_since(instance, relation, encoded, since)
+                    for relation, encoded, since in requests
+                ]
+                self._count_scans(peer, len(requests))
+                if span.recording:
+                    span.set("requests", len(requests))
+                    span.set(
+                        "rows", sum(len(rows) for _, _, rows in results)
+                    )
+                if self.row_cost > 0:
+                    time.sleep(
+                        self.row_cost * sum(len(rows) for _, _, rows in results)
+                    )
+                return results
+        finally:
+            if span.record is not None:
+                get_tracer().adopt(span.records())
 
     def insert(self, peer: str, relation: str, rows: Iterable[Row]) -> int:
-        self._enter_rpc(peer)
-        instance = self._instances[peer]
-        count = 0
-        for row in rows:
-            instance.add(relation, row)
-            count += 1
-        return count
+        span = ServeSpan(
+            current_wire_context(), "rpc.serve.insert",
+            peer=peer, transport="loopback", relation=relation,
+        )
+        try:
+            with span:
+                self._enter_rpc(peer)
+                instance = self._instances[peer]
+                count = 0
+                for row in rows:
+                    instance.add(relation, row)
+                    count += 1
+                if span.recording:
+                    span.set("rows", count)
+                return count
+        finally:
+            if span.record is not None:
+                get_tracer().adopt(span.records())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

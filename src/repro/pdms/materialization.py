@@ -44,6 +44,8 @@ from ..database.algebra import Table
 from ..database.columnar import ColumnTable
 from ..database.statistics import source_data_version
 from ..errors import EvaluationError
+from ..obs.metrics import METRICS_SCHEMA_VERSION
+from ..obs.trace import current_span
 
 #: Default byte budget for a service-level fragment cache (64 MiB).
 DEFAULT_FRAGMENT_CACHE_BYTES = 64 * 1024 * 1024
@@ -176,6 +178,7 @@ class FragmentCacheStats:
     def as_dict(self) -> Dict[str, object]:
         """A flat snapshot of every counter (status endpoints, examples)."""
         return {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
@@ -385,45 +388,53 @@ class FragmentCache:
         admitted is offered back to the tier, so the *next* process asking
         for this fragment at this version skips the compute too.
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                if entry.token == token:
-                    self.stats.hits += 1
-                    self._entries.move_to_end(key)
-                    return entry.value
-                # The data moved underneath: drop the stale version now so
-                # it stops occupying budget while we recompute.
-                self._remove_locked(key)
-                self.stats.invalidations += 1
-            self.stats.misses += 1
-            misses = self._miss_counts.get(key, 0) + 1
-            self._miss_counts.pop(key, None)  # re-insert as most recent
-            self._miss_counts[key] = misses
-            # Miss tracking only informs admission (min_misses); bound it
-            # so keys whose results are never admitted — one-shot traffic
-            # under a picky policy — cannot accumulate forever.
-            while len(self._miss_counts) > _MISS_TRACKING_LIMIT:
-                self._miss_counts.pop(next(iter(self._miss_counts)))
-        tier_hit, tier_value = self._tier_get(key, token, relations, misses)
-        if tier_hit:
-            return tier_value
-        started = self._clock()
-        value = compute()
-        elapsed = self._clock() - started
-        admitted = self._admit(key, token, relations, value, elapsed, misses)
-        tier = self._tier
-        if admitted and tier is not None and token is not None:
-            # Only locally admitted results are offered on: the admission
-            # policy already judged them worth memory, and the tier's own
-            # LRU bounds what it keeps.
-            if tier.put(key, token, relations, value):
-                with self._lock:
-                    self.stats.tier_puts += 1
-            else:
-                with self._lock:
-                    self.stats.tier_degraded += 1
-        return value
+        with current_span().child(
+            "fragment.cache", key=key[:80], tier=self._tier is not None
+        ) as span:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    if entry.token == token:
+                        self.stats.hits += 1
+                        self._entries.move_to_end(key)
+                        span.set("outcome", "hit")
+                        return entry.value
+                    # The data moved underneath: drop the stale version now so
+                    # it stops occupying budget while we recompute.
+                    self._remove_locked(key)
+                    self.stats.invalidations += 1
+                self.stats.misses += 1
+                misses = self._miss_counts.get(key, 0) + 1
+                self._miss_counts.pop(key, None)  # re-insert as most recent
+                self._miss_counts[key] = misses
+                # Miss tracking only informs admission (min_misses); bound it
+                # so keys whose results are never admitted — one-shot traffic
+                # under a picky policy — cannot accumulate forever.
+                while len(self._miss_counts) > _MISS_TRACKING_LIMIT:
+                    self._miss_counts.pop(next(iter(self._miss_counts)))
+            tier_hit, tier_value = self._tier_get(key, token, relations, misses)
+            if tier_hit:
+                span.set("outcome", "tier_hit")
+                return tier_value
+            span.set("outcome", "miss")
+            started = self._clock()
+            value = compute()
+            elapsed = self._clock() - started
+            admitted = self._admit(key, token, relations, value, elapsed, misses)
+            if span.recording:
+                span.set("admitted", admitted)
+            tier = self._tier
+            if admitted and tier is not None and token is not None:
+                # Only locally admitted results are offered on: the admission
+                # policy already judged them worth memory, and the tier's own
+                # LRU bounds what it keeps.
+                if tier.put(key, token, relations, value):
+                    with self._lock:
+                        self.stats.tier_puts += 1
+                else:
+                    with self._lock:
+                        self.stats.tier_degraded += 1
+            return value
 
     def peek(self, key: str, token: object, relations: Iterable[str]) -> bool:
         """Would :meth:`get_or_compute` for ``key`` avoid computing?
@@ -435,12 +446,17 @@ class FragmentCache:
         engine uses this to skip a rewriting's scatter-gather round
         entirely when its root fragment is already warm somewhere.
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None and entry.token == token:
-                return True
-        tier_hit, _ = self._tier_get(key, token, relations, misses=1)
-        return tier_hit
+        with current_span().child(
+            "fragment.cache", key=key[:80], probe=True
+        ) as span:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None and entry.token == token:
+                    span.set("outcome", "hit")
+                    return True
+            tier_hit, _ = self._tier_get(key, token, relations, misses=1)
+            span.set("outcome", "tier_hit" if tier_hit else "miss")
+            return tier_hit
 
     # -- invalidation ------------------------------------------------------
 

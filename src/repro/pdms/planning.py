@@ -76,6 +76,7 @@ from ..datalog.indexing import WILDCARD, ensure_indexed
 from ..datalog.queries import ConjunctiveQuery
 from ..datalog.terms import Variable, is_variable
 from ..errors import EvaluationError
+from ..obs.trace import current_span
 from .materialization import FragmentCache, data_version_token, result_row_count
 from .reformulation import ReformulationResult, _LazySeq
 
@@ -979,19 +980,27 @@ def _fragment_table(
     node = plan.nodes[key]
 
     def build():
-        if isinstance(node, ScanFragment):
-            if columnar:
-                value = _scan_columnar(node, source)
+        span = current_span().child(
+            "fragment.eval",
+            key=key[:80],
+            kind="scan" if isinstance(node, ScanFragment) else "join",
+        )
+        with span:
+            if isinstance(node, ScanFragment):
+                if columnar:
+                    value = _scan_columnar(node, source)
+                else:
+                    value = _scan_table(node, source)
             else:
-                value = _scan_table(node, source)
-        else:
-            left = _fragment_table(
-                plan, node.left_key, source, memo, cache, columnar, feedback
-            )
-            right = _fragment_table(
-                plan, node.right_key, source, memo, cache, columnar, feedback
-            )
-            value = _join_fragment_tables(node, left, right)
+                left = _fragment_table(
+                    plan, node.left_key, source, memo, cache, columnar, feedback
+                )
+                right = _fragment_table(
+                    plan, node.right_key, source, memo, cache, columnar, feedback
+                )
+                value = _join_fragment_tables(node, left, right)
+            if span.recording:
+                span.set("rows", result_row_count(value))
         if feedback is not None:
             relations = plan.fragment_relations(key)
             columns: Tuple[Tuple[str, int], ...] = ()

@@ -72,6 +72,8 @@ from ..database.planner import CardinalityCostModel
 from ..datalog.evaluation import FactsLike
 from ..datalog.queries import ConjunctiveQuery
 from ..errors import EvaluationError, PDMSConfigurationError
+from ..obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
+from ..obs.trace import current_span, get_tracer
 from .optimizations import DEFAULT_CONFIG, ReformulationConfig
 from .peer import Peer
 from .execution import (
@@ -139,6 +141,7 @@ class ServiceStats:
     def as_dict(self) -> Dict[str, object]:
         """A flat snapshot of every counter (status endpoints, examples)."""
         return {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
@@ -314,6 +317,13 @@ class QueryService:
         self._peer_data: Dict[str, Instance] = {}
         self._flat_data: Optional[FactsLike] = None
         self._combined: Optional[FactsLike] = None
+        #: The unified metrics registry: the existing counter objects
+        #: register as weakly held pull collectors, the answer path feeds
+        #: one push histogram.  :meth:`metrics_snapshot` renders it;
+        #: ``ServiceCluster.describe()["metrics"]`` surfaces it.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector("service", self._collect_service_metrics)
+        self._answer_latency = self.metrics.histogram("service.answer_seconds")
         if data is not None:
             self.set_data(data)
 
@@ -358,6 +368,21 @@ class QueryService:
                 fragments=replace(s.fragments),
                 adaptive=s.adaptive.snapshot(),
             )
+
+    def _collect_service_metrics(self) -> Dict[str, object]:
+        """Pull collector feeding the registry the cache counters."""
+        return self.stats_snapshot().as_dict()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Everything the unified registry knows, frozen at this moment.
+
+        Combines the push-side instruments (the answer-latency histogram)
+        with every registered pull collector — cache counters, and on a
+        distributed deployment the scatter/latency/transport snapshots
+        the cluster binds in (see
+        :meth:`~repro.pdms.distributed.source.RemotePeerFactSource.bind_metrics`).
+        """
+        return self.metrics.snapshot()
 
     @property
     def feedback(self) -> Optional[QErrorLog]:
@@ -573,10 +598,15 @@ class QueryService:
             result = self._cache.get(canonical.signature)
             if result is not None:
                 self._stats.hits += 1
+                current_span().set("reformulation", "hit")
                 self._cache.move_to_end(canonical.signature)
                 return canonical.signature, result
             self._stats.misses += 1
-            result = reformulate(self._pdms, canonical.query, config=self._config)
+            current_span().set("reformulation", "miss")
+            with current_span().child("query.reformulate"):
+                result = reformulate(
+                    self._pdms, canonical.query, config=self._config
+                )
             # No eager materialisation: a cold `limit=k` call consumes only a
             # prefix of the rewriting enumeration, and the result memoizes
             # whatever it produced so future hits continue where it stopped.
@@ -599,7 +629,8 @@ class QueryService:
         with self._mutex:
             plan = self._plans.get(signature)
             if plan is None or plan.result is not result:
-                plan = ensure_plan(result, source)
+                with current_span().child("plan.compile"):
+                    plan = ensure_plan(result, source)
                 self._plans[signature] = plan
                 self._stats.plans_compiled += 1
             return plan
@@ -628,9 +659,12 @@ class QueryService:
         feedback = self._feedback
         state = self._champions.get(signature)
         if state is None or state.plan.result is not result:
-            plan = UnionPlan(
-                result, CardinalityCostModel.pinless(source), feedback=feedback
-            )
+            with current_span().child("plan.compile", adaptive=True):
+                plan = UnionPlan(
+                    result,
+                    CardinalityCostModel.pinless(source),
+                    feedback=feedback,
+                )
             state = _AdaptiveState(plan=plan, generation=feedback.generation)
             self._champions[signature] = state
             self._stats.plans_compiled += 1
@@ -638,9 +672,10 @@ class QueryService:
         if not racing or feedback.generation == state.generation:
             return state.plan, None
         state.generation = feedback.generation
-        candidate = UnionPlan(
-            result, CardinalityCostModel.pinless(source), feedback=feedback
-        )
+        with current_span().child("plan.compile", adaptive=True, candidate=True):
+            candidate = UnionPlan(
+                result, CardinalityCostModel.pinless(source), feedback=feedback
+            )
         candidate_cost = candidate.estimated_cost()
         champion_cost = state.plan.estimated_cost()
         if set(candidate.nodes) == set(state.plan.nodes):
@@ -692,12 +727,14 @@ class QueryService:
         what the caller is served either way — a losing or mismatching
         challenger never contributes rows to an answer.
         """
-        champion_rows, champion_seconds = self._evaluate_candidate(
-            result, source, engine, champion, feedback
-        )
-        challenger_rows, challenger_seconds = self._evaluate_candidate(
-            result, source, engine, challenger, feedback
-        )
+        with current_span().child("plan.execute", role="champion", racing=True):
+            champion_rows, champion_seconds = self._evaluate_candidate(
+                result, source, engine, champion, feedback
+            )
+        with current_span().child("plan.execute", role="challenger", racing=True):
+            challenger_rows, challenger_seconds = self._evaluate_candidate(
+                result, source, engine, challenger, feedback
+            )
         with self._mutex:
             feedback.stats.races_run += 1
             if challenger_rows != champion_rows:
@@ -748,21 +785,43 @@ class QueryService:
         ``docs/adaptivity.md``); the served rows always come from the
         champion.
         """
-        prepared = self._prepare(query, engine, data, racing=limit is None)
-        engine, source, result, plan, cache, feedback, sig, challenger = prepared
-        if challenger is not None and plan is not None and feedback is not None:
-            return self._race(
-                sig, result, source, engine, plan, challenger, feedback
-            )
-        return evaluate_reformulation(
-            result,
-            source,
-            engine=engine,
-            limit=limit,
-            plan=plan,
-            cache=cache,
-            feedback=feedback,
+        parent = current_span()
+        span = (
+            parent.child("query.answer")
+            if parent.recording
+            else get_tracer().start_trace("query.answer")
         )
+        started = time.perf_counter()
+        try:
+            with span:
+                prepared = self._prepare(query, engine, data, racing=limit is None)
+                engine, source, result, plan, cache, feedback, sig, challenger = (
+                    prepared
+                )
+                if span.recording:
+                    span.set("engine", engine)
+                    if limit is not None:
+                        span.set("limit", limit)
+                if challenger is not None and plan is not None and feedback is not None:
+                    rows = self._race(
+                        sig, result, source, engine, plan, challenger, feedback
+                    )
+                else:
+                    with span.child("plan.execute", engine=engine):
+                        rows = evaluate_reformulation(
+                            result,
+                            source,
+                            engine=engine,
+                            limit=limit,
+                            plan=plan,
+                            cache=cache,
+                            feedback=feedback,
+                        )
+                if span.recording:
+                    span.set("rows", len(rows))
+                return rows
+        finally:
+            self._answer_latency.observe(time.perf_counter() - started)
 
     def _prepare(
         self,

@@ -685,7 +685,9 @@ class TestClusterTailStats:
             ):
                 assert key in scatter
             latency = snapshot["peer_latency"]
-            assert "A" in latency and latency["A"]["count"] >= 1.0
+            assert latency["schema_version"] == 1
+            peers = latency["peers"]
+            assert "A" in peers and peers["A"]["count"] >= 1.0
 
     def test_cluster_accepts_an_explicit_scan_policy(self):
         from repro.pdms import PDMS
